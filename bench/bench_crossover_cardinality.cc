@@ -1,0 +1,70 @@
+// Crossover analysis (beyond the paper's figures): where does DPCopula
+// overtake PSD as the data grows?
+//
+// DPCopula's error is dominated by fixed-scale noise on m margins and
+// C(m,2) coefficients, so its relative error falls roughly like 1/n; PSD's
+// per-node noise also amortizes with n but its within-leaf uniformity error
+// does not. This bench sweeps the cardinality of the US-census-style
+// dataset at two budgets and reports the DPCopula/PSD error ratio — the
+// "who wins where" picture EXPERIMENTS.md summarizes.
+#include <cstdio>
+
+#include "baselines/psd.h"
+#include "bench/bench_util.h"
+#include "core/hybrid.h"
+#include "data/census.h"
+#include "query/metrics.h"
+
+using namespace dpcopula;  // NOLINT(build/namespaces) — bench binary.
+
+int main() {
+  auto cfg = query::ExperimentConfig::FromEnvironment();
+  bench::PrintBanner(
+      "Crossover: DPCopula vs PSD error as cardinality grows (US-census "
+      "data)",
+      cfg);
+
+  const std::vector<std::size_t> cardinalities =
+      cfg.ProfileName() == "paper"
+          ? std::vector<std::size_t>{5000, 10000, 20000, 50000, 100000,
+                                     200000}
+          : std::vector<std::size_t>{5000, 10000, 20000, 50000};
+
+  Rng master(cfg.seed);
+  for (double epsilon : {0.1, 1.0}) {
+    std::printf("\nepsilon = %.1f\n", epsilon);
+    bench::PrintSeriesHeader("n", {"DPCopula", "PSD", "ratio"});
+    for (std::size_t n : cardinalities) {
+      auto table = data::GenerateUsCensus(n, &master);
+      const double sanity =
+          query::UsCensusSanityBound(static_cast<std::int64_t>(n));
+      double dpc_total = 0.0, psd_total = 0.0;
+      for (std::size_t run = 0; run < cfg.num_runs; ++run) {
+        Rng rng = master.Split();
+        const auto workload = query::RandomWorkload(
+            table->schema(), cfg.queries_per_run, &rng);
+        const auto truth = query::ComputeTrueAnswers(*table, workload);
+        core::HybridOptions opts;
+        opts.epsilon = epsilon;
+        auto res = core::SynthesizeHybrid(*table, opts, &rng);
+        baselines::TableEstimator est(res->synthetic, "DPCopula");
+        dpc_total += query::EvaluateWorkloadWithTruth(*truth, est, workload,
+                                                      sanity)
+                         ->mean_relative_error;
+        auto psd = baselines::PsdTree::Build(*table, epsilon, &rng);
+        psd_total += query::EvaluateWorkloadWithTruth(*truth, **psd,
+                                                      workload, sanity)
+                         ->mean_relative_error;
+      }
+      const double runs = static_cast<double>(cfg.num_runs);
+      bench::PrintSeriesRow(static_cast<double>(n),
+                            {dpc_total / runs, psd_total / runs,
+                             (dpc_total / runs) / (psd_total / runs)});
+    }
+  }
+  std::printf(
+      "\nratio < 1 means DPCopula wins; expect the ratio to fall as n "
+      "grows (margin/coefficient noise amortizes faster than PSD's "
+      "uniformity error), with the crossover earlier at larger epsilon.\n");
+  return 0;
+}

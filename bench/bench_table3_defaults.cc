@@ -1,0 +1,47 @@
+// Reproduces Table 3: the experiment parameters and their default values,
+// as encoded by query::ExperimentConfig::Paper(). Every other bench binary
+// consumes this config, so this harness doubles as a wiring check.
+#include <cstdio>
+#include <cstdlib>
+
+#include "query/experiment_config.h"
+
+int main() {
+  using dpcopula::query::ExperimentConfig;
+  const ExperimentConfig paper = ExperimentConfig::Paper();
+  const ExperimentConfig fast = ExperimentConfig::Fast();
+
+  std::printf("=== Table 3: experiment parameters ===\n");
+  std::printf("%-12s%-40s%14s%14s\n", "Parameter", "Description", "paper",
+              "fast");
+  std::printf("%-12s%-40s%14lld%14lld\n", "n", "number of tuples in D",
+              static_cast<long long>(paper.num_tuples),
+              static_cast<long long>(fast.num_tuples));
+  std::printf("%-12s%-40s%14.1f%14.1f\n", "epsilon", "privacy budget",
+              paper.epsilon, fast.epsilon);
+  std::printf("%-12s%-40s%14zu%14zu\n", "m", "number of dimensions",
+              paper.num_dimensions, fast.num_dimensions);
+  std::printf("%-12s%-40s%14.1f%14.1f\n", "s", "sanity bound",
+              paper.sanity_bound, fast.sanity_bound);
+  std::printf("%-12s%-40s%14.1f%14.1f\n", "k", "ratio of eps1 and eps2",
+              paper.budget_ratio_k, fast.budget_ratio_k);
+  std::printf("%-12s%-40s%14lld%14lld\n", "|A_i|", "domain size of dimension i",
+              static_cast<long long>(paper.domain_size),
+              static_cast<long long>(fast.domain_size));
+  std::printf("%-12s%-40s%14zu%14zu\n", "queries", "random queries per run",
+              paper.queries_per_run, fast.queries_per_run);
+  std::printf("%-12s%-40s%14zu%14zu\n", "runs", "averaging runs",
+              paper.num_runs, fast.num_runs);
+
+  // Paper defaults are load-bearing: fail if they drift.
+  const bool ok = paper.num_tuples == 50000 && paper.epsilon == 1.0 &&
+                  paper.num_dimensions == 8 && paper.sanity_bound == 1.0 &&
+                  paper.budget_ratio_k == 8.0 && paper.domain_size == 1000 &&
+                  paper.queries_per_run == 1000 && paper.num_runs == 5;
+  if (!ok) {
+    std::printf("\nFAILED: paper profile drifted from Table 3\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("\npaper profile matches Table 3\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,66 @@
+// Census release: the paper's motivating scenario. A statistical agency
+// holds microdata with a mix of binary and large-domain attributes and
+// wants to publish a synthetic copy under a strict privacy budget.
+//
+//   $ ./build/examples/census_release [epsilon] [output.csv]
+//
+// Uses DPCopula-Hybrid (Algorithm 6): binary attributes partition the data,
+// each partition gets its own copula synthesis, and the result is written
+// to CSV for downstream use.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/hybrid.h"
+#include "data/census.h"
+#include "data/csv.h"
+#include "stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace dpcopula;  // NOLINT(build/namespaces) — example binary.
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const char* out_path =
+      argc > 2 ? argv[2] : "/tmp/dpcopula_census_release.csv";
+
+  Rng rng(2014);
+  auto census = data::GenerateUsCensus(50000, &rng);
+  if (!census.ok()) {
+    std::fprintf(stderr, "census simulation failed\n");
+    return 1;
+  }
+  std::printf("US-census-style microdata: %zu rows, %zu attributes\n",
+              census->num_rows(), census->num_columns());
+
+  core::HybridOptions options;
+  options.epsilon = epsilon;
+  auto release = core::SynthesizeHybrid(*census, options, &rng);
+  if (!release.ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 release.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "hybrid synthesis: %lld partitions (%lld skipped), budget %.3f "
+      "(counts %.3f + copula %.3f)\n",
+      static_cast<long long>(release->num_partitions),
+      static_cast<long long>(release->num_skipped_partitions), epsilon,
+      release->epsilon_counts, release->epsilon_copula);
+
+  // Basic utility report: per-attribute means and the gender split.
+  std::printf("\n%-12s%14s%14s\n", "attribute", "original", "synthetic");
+  for (std::size_t j = 0; j < census->num_columns(); ++j) {
+    std::printf("%-12s%14.2f%14.2f\n",
+                census->schema().attribute(j).name.c_str(),
+                stats::Mean(census->column(j)),
+                stats::Mean(release->synthetic.column(j)));
+  }
+
+  Status io = data::WriteCsv(release->synthetic, out_path);
+  if (!io.ok()) {
+    std::fprintf(stderr, "CSV write failed: %s\n", io.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu synthetic rows to %s\n",
+              release->synthetic.num_rows(), out_path);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Interactive vs. synthetic release — the paper's §1 motivation, measured.
+//
+//   $ ./build/examples/interactive_vs_synthetic
+//
+// An analyst wants to run an exploratory stream of range-count queries
+// under a total budget epsilon = 1. Two regimes:
+//   1. interactive: each query gets fresh Laplace noise and consumes
+//      budget; after epsilon is exhausted the database goes dark;
+//   2. non-interactive (DPCopula): the whole budget buys one synthetic
+//      dataset that answers *unlimited* queries.
+// The interactive answers are sharper early (tiny sensitivity-1 noise) but
+// the supply is finite; DPCopula's error is flat forever.
+#include <cstdio>
+
+#include "baselines/range_estimator.h"
+#include "common/rng.h"
+#include "core/dpcopula.h"
+#include "data/generator.h"
+#include "dp/interactive.h"
+#include "query/metrics.h"
+#include "query/workload.h"
+
+int main() {
+  using namespace dpcopula;  // NOLINT(build/namespaces) — example binary.
+  const double total_epsilon = 1.0;
+  const double per_query_epsilon = 0.02;  // 50 interactive queries total.
+
+  Rng rng(55);
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Gaussian("x", 400),
+      data::MarginSpec::Gaussian("y", 400)};
+  auto table = data::GenerateGaussianDependent(
+      specs, *data::Equicorrelation(2, 0.5), 30000, &rng);
+  if (!table.ok()) return 1;
+
+  // Regime 1: interactive engine.
+  dp::InteractiveEngine engine(*table, total_epsilon);
+  // Regime 2: one synthetic release with the same budget.
+  core::DpCopulaOptions options;
+  options.epsilon = total_epsilon;
+  auto synth = core::Synthesize(*table, options, &rng);
+  if (!synth.ok()) return 1;
+  baselines::TableEstimator synthetic(synth->synthetic, "DPCopula");
+
+  const auto workload = query::RandomWorkload(table->schema(), 200, &rng);
+  std::printf("%-10s%18s%20s\n", "query#", "interactive RE",
+              "synthetic RE");
+  double interactive_total = 0.0, synthetic_total = 0.0;
+  std::size_t interactive_count = 0;
+  for (std::size_t q = 0; q < workload.size(); ++q) {
+    std::vector<double> dlo(workload[q].lo.begin(), workload[q].lo.end());
+    std::vector<double> dhi(workload[q].hi.begin(), workload[q].hi.end());
+    const double truth =
+        static_cast<double>(table->RangeCount(dlo, dhi));
+    const double synth_ans =
+        synthetic.EstimateRangeCount(workload[q].lo, workload[q].hi);
+    synthetic_total += query::RelativeError(truth, synth_ans, 1.0);
+
+    auto ans = engine.AnswerRangeCount(workload[q].lo, workload[q].hi,
+                                       per_query_epsilon, &rng);
+    if (ans.ok()) {
+      interactive_total += query::RelativeError(truth, *ans, 1.0);
+      ++interactive_count;
+    }
+    if ((q + 1) % 50 == 0) {
+      std::printf("%-10zu%18s%20.3f\n", q + 1,
+                  ans.ok() ? "answering" : "BUDGET EXHAUSTED",
+                  synthetic_total / static_cast<double>(q + 1));
+    }
+  }
+  std::printf(
+      "\ninteractive: answered %zu of %zu queries (mean RE %.3f), then went "
+      "dark.\n",
+      interactive_count, workload.size(),
+      interactive_total / static_cast<double>(interactive_count));
+  std::printf(
+      "synthetic:   answered all %zu queries (mean RE %.3f) and can answer "
+      "any number more.\n",
+      workload.size(),
+      synthetic_total / static_cast<double>(workload.size()));
+  std::printf(
+      "\nthis is the paper's case for non-interactive release: one "
+      "epsilon-DP synthesis amortizes the budget over an unbounded "
+      "workload.\n");
+  return 0;
+}

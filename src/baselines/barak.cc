@@ -1,0 +1,110 @@
+#include "baselines/barak.h"
+
+#include <bit>
+#include <cmath>
+
+#include "marginals/postprocess.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::baselines {
+
+void BarakMechanism::WalshHadamard(std::vector<double>* x) {
+  const std::size_t n = x->size();
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t i = 0; i < n; i += len << 1) {
+      for (std::size_t j = i; j < i + len; ++j) {
+        const double a = (*x)[j];
+        const double b = (*x)[j + len];
+        (*x)[j] = a + b;
+        (*x)[j + len] = a - b;
+      }
+    }
+  }
+  // Orthonormal scaling: divide by sqrt(n) so the transform is its own
+  // inverse and Parseval holds.
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (double& v : *x) v *= scale;
+}
+
+std::uint64_t BarakMechanism::NumRetainedCoefficients(std::size_t m,
+                                                      int order) {
+  std::uint64_t total = 0;
+  std::uint64_t binom = 1;  // C(m, 0).
+  for (int k = 0; k <= order && k <= static_cast<int>(m); ++k) {
+    total += binom;
+    binom = binom * (m - static_cast<std::size_t>(k)) /
+            (static_cast<std::uint64_t>(k) + 1);
+  }
+  return total;
+}
+
+Result<std::unique_ptr<HistogramEstimator>> BarakMechanism::Release(
+    const data::Table& table, double epsilon, Rng* rng,
+    const BarakOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("Barak: epsilon must be > 0");
+  }
+  const std::size_t m = table.num_columns();
+  if (m == 0 || m > options.max_attributes) {
+    return Status::InvalidArgument(
+        "Barak: attribute count outside supported range");
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    if (table.schema().attribute(j).domain_size != 2) {
+      return Status::InvalidArgument(
+          "Barak: all attributes must be binary (domain size 2)");
+    }
+  }
+  if (options.order < 0) {
+    return Status::InvalidArgument("Barak: order must be >= 0");
+  }
+
+  // Dense joint histogram over {0,1}^m, bit j of the cell index = value of
+  // attribute j.
+  const std::size_t cells = 1ULL << m;
+  std::vector<double> joint(cells, 0.0);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::size_t idx = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (table.at(r, j) > 0.5) idx |= 1ULL << j;
+    }
+    joint[idx] += 1.0;
+  }
+
+  // Forward transform; coefficient index S (as a bitmask) corresponds to
+  // the character chi_S, and |S| = popcount(S) is its marginal order.
+  WalshHadamard(&joint);
+
+  // One record moves one cell by 1, i.e. every orthonormal coefficient by
+  // exactly 2^{-m/2}; retaining C coefficients gives L1 sensitivity
+  // C * 2^{-m/2}.
+  const std::uint64_t retained = NumRetainedCoefficients(m, options.order);
+  const double scale = static_cast<double>(retained) /
+                       std::sqrt(static_cast<double>(cells)) / epsilon;
+  for (std::size_t s = 0; s < cells; ++s) {
+    if (std::popcount(s) <= options.order) {
+      joint[s] += stats::SampleLaplace(rng, scale);
+    } else {
+      joint[s] = 0.0;
+    }
+  }
+
+  // Inverse transform (self-inverse) and consistency projection.
+  WalshHadamard(&joint);
+  joint = marginals::ProjectToNoisyTotal(joint);
+
+  std::vector<std::int64_t> dims(m, 2);
+  DPC_ASSIGN_OR_RETURN(hist::Histogram out, hist::Histogram::Create(dims));
+  // Histogram uses row-major with the LAST attribute fastest; our bit
+  // layout uses bit j for attribute j. Remap.
+  std::vector<std::int64_t> index(m);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    for (std::size_t j = 0; j < m; ++j) {
+      index[j] = (cell >> j) & 1ULL;
+    }
+    out.Set(index, joint[cell]);
+  }
+  return std::make_unique<HistogramEstimator>(std::move(out), "Barak");
+}
+
+}  // namespace dpcopula::baselines

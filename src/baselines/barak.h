@@ -1,0 +1,54 @@
+#ifndef DPCOPULA_BASELINES_BARAK_H_
+#define DPCOPULA_BASELINES_BARAK_H_
+
+#include <memory>
+
+#include "baselines/range_estimator.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace dpcopula::baselines {
+
+/// Barak et al. (PODS 2007 [2]) — Fourier-domain contingency-table release
+/// for binary attributes. The paper's related work discusses it but
+/// excludes it from experiments because of its computational cost; we
+/// include a faithful scoped implementation for completeness.
+///
+/// The joint histogram over {0,1}^m is moved into the Walsh–Hadamard
+/// (Fourier) basis; the coefficients indexed by subsets S with |S| <=
+/// `order` determine every `order`-way marginal. Each retained coefficient
+/// gets Laplace noise calibrated to the full release (one record changes
+/// every retained orthonormal-basis coefficient by 2^{-m/2}, so the L1
+/// sensitivity is C * 2^{-m/2} for C retained coefficients); dropped
+/// coefficients are zeroed; the inverse transform reconstructs a joint
+/// table whose low-order marginals match the noisy release. Barak et al.
+/// restore non-negativity/integrality with linear programming; we use the
+/// simplex projection (same guarantees, no LP dependency — documented
+/// substitution).
+struct BarakOptions {
+  /// Marginal order to preserve (coefficients with |S| <= order kept).
+  int order = 3;
+  /// Hard cap on the attribute count (the dense 2^m table).
+  std::size_t max_attributes = 20;
+};
+
+class BarakMechanism {
+ public:
+  /// Releases a noisy joint-histogram estimator for an all-binary `table`
+  /// with `epsilon`-DP.
+  static Result<std::unique_ptr<HistogramEstimator>> Release(
+      const data::Table& table, double epsilon, Rng* rng,
+      const BarakOptions& options = {});
+
+  /// In-place orthonormal Walsh–Hadamard transform of a length-2^m vector
+  /// (its own inverse). Exposed for tests.
+  static void WalshHadamard(std::vector<double>* x);
+
+  /// Number of subsets of an m-element set with size <= order.
+  static std::uint64_t NumRetainedCoefficients(std::size_t m, int order);
+};
+
+}  // namespace dpcopula::baselines
+
+#endif  // DPCOPULA_BASELINES_BARAK_H_

@@ -1,0 +1,163 @@
+#include "baselines/dpcube.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marginals/dwork.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::baselines {
+
+namespace {
+
+struct Box {
+  std::vector<std::int64_t> lo, hi;  // Inclusive.
+  int depth;
+};
+
+// Applies `fn` to the flat index of every cell in `box`.
+template <typename Fn>
+void ForEachCell(const hist::Histogram& h, const Box& box, Fn&& fn) {
+  const std::size_t m = h.num_dims();
+  std::vector<std::int64_t> cursor = box.lo;
+  for (;;) {
+    fn(h.FlatIndex(cursor));
+    bool carried = true;
+    for (std::size_t t = m; t-- > 0;) {
+      if (++cursor[t] <= box.hi[t]) {
+        carried = false;
+        break;
+      }
+      cursor[t] = box.lo[t];
+    }
+    if (carried) return;
+  }
+}
+
+double BoxCellCount(const Box& box) {
+  double cells = 1.0;
+  for (std::size_t j = 0; j < box.lo.size(); ++j) {
+    cells *= static_cast<double>(box.hi[j] - box.lo[j] + 1);
+  }
+  return cells;
+}
+
+// Sum and SSE of the noisy cells inside `box`.
+void BoxStats(const hist::Histogram& h, const std::vector<double>& cells,
+              const Box& box, double* sum, double* sse) {
+  double s = 0.0, s2 = 0.0, n = 0.0;
+  ForEachCell(h, box, [&](std::uint64_t flat) {
+    const double v = cells[flat];
+    s += v;
+    s2 += v * v;
+    n += 1.0;
+  });
+  *sum = s;
+  *sse = s2 - (n > 0.0 ? s * s / n : 0.0);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HistogramEstimator>> DpCubeMechanism::Release(
+    const data::Table& table, double epsilon, Rng* rng,
+    const DpCubeOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("DPCube: epsilon must be > 0");
+  }
+  DPC_ASSIGN_OR_RETURN(hist::Histogram h,
+                       hist::Histogram::FromTable(table, options.max_cells));
+
+  // Phase 1: noisy cell histogram with epsilon / 2.
+  const double eps1 = epsilon / 2.0;
+  const double eps2 = epsilon - eps1;
+  DPC_ASSIGN_OR_RETURN(std::vector<double> noisy_cells,
+                       marginals::PublishDworkHistogram(h.data(), eps1, rng));
+  const double cell_noise_var = 2.0 / (eps1 * eps1);
+
+  int max_depth = options.max_depth;
+  if (max_depth <= 0) {
+    max_depth = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(h.num_cells()) + 1.0)));
+    max_depth = std::clamp(max_depth, 1, 16);
+  }
+
+  // Post-processing KD partitioning over the noisy cells.
+  const std::size_t m = h.num_dims();
+  Box root;
+  root.lo.assign(m, 0);
+  root.hi.resize(m);
+  for (std::size_t j = 0; j < m; ++j) root.hi[j] = h.dims()[j] - 1;
+  root.depth = 0;
+
+  std::vector<Box> work = {root};
+  std::vector<Box> leaves;
+  while (!work.empty()) {
+    Box box = work.back();
+    work.pop_back();
+    const double cells = BoxCellCount(box);
+    double sum, sse;
+    BoxStats(h, noisy_cells, box, &sum, &sse);
+    const bool looks_uniform =
+        sse <= options.split_threshold * cell_noise_var * cells;
+    if (box.depth >= max_depth || cells <= 1.0 || looks_uniform) {
+      leaves.push_back(box);
+      continue;
+    }
+    // Candidate cut: the midpoint of each splittable axis; keep the axis
+    // whose halves have the lowest combined SSE.
+    double best_sse = sse;
+    int best_axis = -1;
+    std::int64_t best_cut = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (box.hi[j] <= box.lo[j]) continue;
+      const std::int64_t cut = (box.lo[j] + box.hi[j]) / 2;
+      Box left = box, right = box;
+      left.hi[j] = cut;
+      right.lo[j] = cut + 1;
+      double ls, lsse, rs, rsse;
+      BoxStats(h, noisy_cells, left, &ls, &lsse);
+      BoxStats(h, noisy_cells, right, &rs, &rsse);
+      if (lsse + rsse < best_sse) {
+        best_sse = lsse + rsse;
+        best_axis = static_cast<int>(j);
+        best_cut = cut;
+      }
+    }
+    if (best_axis < 0) {
+      leaves.push_back(box);
+      continue;
+    }
+    Box left = box, right = box;
+    left.hi[static_cast<std::size_t>(best_axis)] = best_cut;
+    right.lo[static_cast<std::size_t>(best_axis)] = best_cut + 1;
+    left.depth = right.depth = box.depth + 1;
+    work.push_back(left);
+    work.push_back(right);
+  }
+
+  // Phase 2: one fresh noisy count per leaf (disjoint => parallel
+  // composition at eps2), combined with the phase-1 sum by inverse
+  // variance, then spread uniformly.
+  hist::Histogram out = h;
+  auto& data = out.mutable_data();
+  for (const Box& leaf : leaves) {
+    const double cells = BoxCellCount(leaf);
+    double phase1_sum, unused_sse;
+    BoxStats(h, noisy_cells, leaf, &phase1_sum, &unused_sse);
+    double true_sum = 0.0;
+    ForEachCell(h, leaf,
+                [&](std::uint64_t flat) { true_sum += h.data()[flat]; });
+    const double phase2_sum =
+        true_sum + stats::SampleLaplace(rng, 1.0 / eps2);
+    const double var1 = cells * cell_noise_var;
+    const double var2 = 2.0 / (eps2 * eps2);
+    const double combined =
+        (phase1_sum / var1 + phase2_sum / var2) / (1.0 / var1 + 1.0 / var2);
+    const double per_cell = combined / cells;
+    ForEachCell(h, leaf,
+                [&](std::uint64_t flat) { data[flat] = per_cell; });
+  }
+  return std::make_unique<HistogramEstimator>(std::move(out), "DPCube");
+}
+
+}  // namespace dpcopula::baselines

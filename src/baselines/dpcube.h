@@ -1,0 +1,47 @@
+#ifndef DPCOPULA_BASELINES_DPCUBE_H_
+#define DPCOPULA_BASELINES_DPCUBE_H_
+
+#include <memory>
+
+#include "baselines/range_estimator.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace dpcopula::baselines {
+
+/// DPCube (Xiao, Gardner & Xiong, ICDE 2012 [40]) — the two-phase KD-
+/// partitioning histogram mechanism the paper discusses alongside PSD
+/// ("shown in [9] that these two methods are comparable").
+///
+/// Phase 1 spends epsilon/2 on a Dwork cell histogram; a KD-tree is then
+/// carved over the *noisy* cells (pure post-processing) by recursively
+/// picking the axis/cut that minimizes within-partition SSE, stopping when
+/// a partition looks uniform relative to the noise level. Phase 2 spends
+/// the remaining epsilon/2 on one fresh noisy count per final partition
+/// (disjoint => parallel composition); each partition's released value is
+/// the inverse-variance combination of its phase-1 sum and phase-2 count,
+/// spread uniformly over its cells.
+///
+/// Requires the dense histogram, so like every histogram-input method it
+/// fails with ResourceExhausted on domains beyond the cell budget.
+struct DpCubeOptions {
+  /// Maximum KD depth; 0 selects ceil(log2(num_cells)) clamped to [1, 16].
+  int max_depth = 0;
+  /// A partition is split while its noisy SSE exceeds this multiple of the
+  /// expected SSE of pure noise (2/eps1^2 per cell).
+  double split_threshold = 2.0;
+  std::uint64_t max_cells = hist::Histogram::kDefaultMaxCells;
+};
+
+class DpCubeMechanism {
+ public:
+  /// Releases a noisy histogram estimator for `table` with `epsilon`-DP.
+  static Result<std::unique_ptr<HistogramEstimator>> Release(
+      const data::Table& table, double epsilon, Rng* rng,
+      const DpCubeOptions& options = {});
+};
+
+}  // namespace dpcopula::baselines
+
+#endif  // DPCOPULA_BASELINES_DPCUBE_H_

@@ -1,0 +1,142 @@
+#include "baselines/filter_priority.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/distributions.h"
+
+namespace dpcopula::baselines {
+
+Result<std::unique_ptr<FilterPrioritySummary>> FilterPrioritySummary::Build(
+    const data::Table& table, double epsilon, Rng* rng,
+    const FilterPriorityOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("FP: epsilon must be > 0");
+  }
+  const std::size_t m = table.num_columns();
+  if (m == 0) return Status::InvalidArgument("FP: table has no columns");
+
+  // Sparse histogram: map multi-index -> count.
+  std::map<std::vector<std::int64_t>, double> sparse;
+  {
+    std::vector<std::int64_t> idx(m);
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      for (std::size_t j = 0; j < m; ++j) {
+        idx[j] = static_cast<std::int64_t>(std::llround(table.at(r, j)));
+      }
+      sparse[idx] += 1.0;
+    }
+  }
+  const double num_nonzero = static_cast<double>(sparse.size());
+  const double domain_cells = table.schema().DomainSpace();
+  const double num_zero = std::max(0.0, domain_cells - num_nonzero);
+
+  // Calibrate theta so that the expected number of *zero* cells whose
+  // Lap(1/eps) noise exceeds theta is ~ size_factor * M:
+  //   num_zero * 0.5 * exp(-eps * theta) = size_factor * M
+  //   theta = ln(num_zero / (2 * size_factor * M)) / eps   (clamped >= 0).
+  const double target = std::max(1.0, options.size_factor * num_nonzero);
+  double theta = 0.0;
+  if (num_zero > 2.0 * target) {
+    theta = std::log(num_zero / (2.0 * target)) / epsilon;
+  }
+
+  auto summary = std::make_unique<FilterPrioritySummary>();
+  summary->threshold_ = theta;
+  summary->epsilon_ = epsilon;
+  for (std::size_t j = 0; j < m; ++j) {
+    summary->domain_sizes_.push_back(table.schema().attribute(j).domain_size);
+  }
+
+  // Filter the non-zero cells.
+  for (const auto& [index, count] : sparse) {
+    const double noisy = count + stats::SampleLaplace(rng, 1.0 / epsilon);
+    if (noisy > theta) {
+      summary->cells_.push_back({index, noisy});
+    }
+  }
+
+  // Implicit zero cells: Poisson(num_zero * p_pass) of them pass; each gets
+  // value theta + Exp(eps) (a Laplace conditioned on exceeding theta >= 0
+  // is exponential beyond theta).
+  const double p_pass = 0.5 * std::exp(-epsilon * theta);
+  const double expected = num_zero * p_pass;
+  std::int64_t k = 0;
+  if (expected > 0.0) {
+    if (expected < 1e6) {
+      // Poisson via exponential inter-arrivals for small means, normal
+      // approximation otherwise.
+      if (expected < 50.0) {
+        double t = 0.0;
+        while (true) {
+          t += stats::SampleExponential(rng, 1.0);
+          if (t > expected) break;
+          ++k;
+        }
+      } else {
+        k = static_cast<std::int64_t>(std::llround(
+            expected + std::sqrt(expected) * rng->NextGaussian()));
+        k = std::max<std::int64_t>(0, k);
+      }
+    } else {
+      k = options.max_materialized_zero_cells;
+    }
+  }
+  k = std::min<std::int64_t>(k, options.max_materialized_zero_cells);
+
+  // Materialize k random zero cells (collisions with non-zero cells are
+  // vanishingly rare in sparse domains; re-draw on collision).
+  const auto& schema = table.schema();
+  std::vector<std::int64_t> idx(m);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      for (std::size_t j = 0; j < m; ++j) {
+        idx[j] = rng->NextInt64InRange(0, schema.attribute(j).domain_size - 1);
+      }
+      if (sparse.find(idx) == sparse.end()) break;
+    }
+    const double value = theta + stats::SampleExponential(rng, epsilon);
+    summary->cells_.push_back({idx, value});
+  }
+  summary->num_phantom_ = k;
+
+  // Consistency: values below zero cannot occur (theta >= 0 filter), but
+  // clamp defensively for theta == 0 summaries.
+  for (auto& cell : summary->cells_) {
+    cell.value = std::max(0.0, cell.value);
+  }
+  return summary;
+}
+
+double FilterPrioritySummary::EstimateRangeCount(
+    const std::vector<std::int64_t>& lo,
+    const std::vector<std::int64_t>& hi) const {
+  double total = 0.0;
+  for (const auto& cell : cells_) {
+    bool inside = true;
+    for (std::size_t j = 0; j < cell.index.size() && inside; ++j) {
+      inside = cell.index[j] >= lo[j] && cell.index[j] <= hi[j];
+    }
+    if (inside) total += cell.value;
+  }
+  // Consistency: subtract the expected phantom contribution. The phantom
+  // cells are uniform over the domain with mean value theta + 1/epsilon, so
+  // a query covering a fraction f of the domain catches f * num_phantom of
+  // them in expectation — a quantity that depends only on public mechanism
+  // parameters (post-processing).
+  double fraction = 1.0;
+  for (std::size_t j = 0; j < domain_sizes_.size(); ++j) {
+    const std::int64_t clo = std::max<std::int64_t>(lo[j], 0);
+    const std::int64_t chi = std::min<std::int64_t>(hi[j],
+                                                    domain_sizes_[j] - 1);
+    if (clo > chi) return 0.0;
+    fraction *= static_cast<double>(chi - clo + 1) /
+                static_cast<double>(domain_sizes_[j]);
+  }
+  const double phantom_mean = threshold_ + 1.0 / epsilon_;
+  total -= fraction * static_cast<double>(num_phantom_) * phantom_mean;
+  return std::max(0.0, total);
+}
+
+}  // namespace dpcopula::baselines

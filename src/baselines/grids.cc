@@ -1,0 +1,195 @@
+#include "baselines/grids.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace dpcopula::baselines {
+
+namespace {
+
+// Overlap length of [a1, b1] and [a2, b2] (inclusive), 0 if disjoint.
+double OverlapLength(std::int64_t a1, std::int64_t b1, std::int64_t a2,
+                     std::int64_t b2) {
+  const std::int64_t lo = std::max(a1, a2);
+  const std::int64_t hi = std::min(b1, b2);
+  return (lo > hi) ? 0.0 : static_cast<double>(hi - lo + 1);
+}
+
+std::int64_t ChooseGranularity(double n, double epsilon, double c,
+                               std::int64_t domain,
+                               std::int64_t max_per_axis) {
+  const double raw = std::sqrt(std::max(1.0, n) * epsilon / c);
+  auto g = static_cast<std::int64_t>(std::ceil(raw));
+  return std::clamp<std::int64_t>(g, 1, std::min(domain, max_per_axis));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<UniformGrid>> UniformGrid::Build(
+    const data::Table& table, double epsilon, Rng* rng,
+    const UniformGridOptions& options) {
+  if (table.num_columns() != 2) {
+    return Status::InvalidArgument("UG is defined for 2-dimensional data");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("UG: epsilon must be > 0");
+  }
+  auto grid = std::make_unique<UniformGrid>();
+  grid->domain_ = {table.schema().attribute(0).domain_size,
+                   table.schema().attribute(1).domain_size};
+  const double n = static_cast<double>(table.num_rows());
+  grid->gx_ = ChooseGranularity(n, epsilon, options.c, grid->domain_[0],
+                                options.max_cells_per_axis);
+  grid->gy_ = ChooseGranularity(n, epsilon, options.c, grid->domain_[1],
+                                options.max_cells_per_axis);
+  grid->wx_ = (grid->domain_[0] + grid->gx_ - 1) / grid->gx_;
+  grid->wy_ = (grid->domain_[1] + grid->gy_ - 1) / grid->gy_;
+  // Recompute the exact cell count after rounding the widths.
+  grid->gx_ = (grid->domain_[0] + grid->wx_ - 1) / grid->wx_;
+  grid->gy_ = (grid->domain_[1] + grid->wy_ - 1) / grid->wy_;
+
+  grid->cells_.assign(
+      static_cast<std::size_t>(grid->gx_ * grid->gy_), 0.0);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto cx = static_cast<std::int64_t>(table.at(r, 0)) / grid->wx_;
+    const auto cy = static_cast<std::int64_t>(table.at(r, 1)) / grid->wy_;
+    grid->cells_[static_cast<std::size_t>(cx * grid->gy_ + cy)] += 1.0;
+  }
+  // Cells are disjoint: parallel composition charges epsilon once overall.
+  for (double& c : grid->cells_) {
+    c += stats::SampleLaplace(rng, 1.0 / epsilon);
+  }
+  return grid;
+}
+
+double UniformGrid::EstimateRangeCount(
+    const std::vector<std::int64_t>& lo,
+    const std::vector<std::int64_t>& hi) const {
+  double total = 0.0;
+  for (std::int64_t cx = 0; cx < gx_; ++cx) {
+    const std::int64_t x0 = cx * wx_;
+    const std::int64_t x1 = std::min(domain_[0] - 1, x0 + wx_ - 1);
+    const double ox = OverlapLength(lo[0], hi[0], x0, x1);
+    if (ox == 0.0) continue;
+    for (std::int64_t cy = 0; cy < gy_; ++cy) {
+      const std::int64_t y0 = cy * wy_;
+      const std::int64_t y1 = std::min(domain_[1] - 1, y0 + wy_ - 1);
+      const double oy = OverlapLength(lo[1], hi[1], y0, y1);
+      if (oy == 0.0) continue;
+      const double cell_area =
+          static_cast<double>(x1 - x0 + 1) * static_cast<double>(y1 - y0 + 1);
+      total += cells_[static_cast<std::size_t>(cx * gy_ + cy)] *
+               (ox * oy / cell_area);
+    }
+  }
+  return total;
+}
+
+Result<std::unique_ptr<AdaptiveGrid>> AdaptiveGrid::Build(
+    const data::Table& table, double epsilon, Rng* rng,
+    const AdaptiveGridOptions& options) {
+  if (table.num_columns() != 2) {
+    return Status::InvalidArgument("AG is defined for 2-dimensional data");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("AG: epsilon must be > 0");
+  }
+  if (!(options.alpha > 0.0 && options.alpha < 1.0)) {
+    return Status::InvalidArgument("AG: alpha must be in (0, 1)");
+  }
+  const double eps1 = options.alpha * epsilon;
+  const double eps2 = epsilon - eps1;
+
+  // Level 1: a coarse UG at half the UG granularity ([33] §4.2).
+  UniformGridOptions ug_opts;
+  ug_opts.c = options.c1 * 4.0;  // sqrt(n eps / c)/2 == sqrt(n eps / 4c).
+  ug_opts.max_cells_per_axis = options.max_cells_per_axis;
+  DPC_ASSIGN_OR_RETURN(std::unique_ptr<UniformGrid> level1,
+                       UniformGrid::Build(table, eps1, rng, ug_opts));
+
+  auto ag = std::make_unique<AdaptiveGrid>();
+  // Level 2: subdivide each level-1 cell based on its noisy count.
+  for (std::int64_t cx = 0; cx < level1->gx_; ++cx) {
+    for (std::int64_t cy = 0; cy < level1->gy_; ++cy) {
+      Region region;
+      region.lo = {cx * level1->wx_, cy * level1->wy_};
+      region.hi = {
+          std::min(level1->domain_[0] - 1, (cx + 1) * level1->wx_ - 1),
+          std::min(level1->domain_[1] - 1, (cy + 1) * level1->wy_ - 1)};
+      const double noisy_count = std::max(
+          0.0, level1->cells_[static_cast<std::size_t>(cx * level1->gy_ +
+                                                       cy)]);
+      const std::int64_t max_side = std::max<std::int64_t>(
+          1, std::min(region.hi[0] - region.lo[0] + 1,
+                      region.hi[1] - region.lo[1] + 1));
+      region.g = ChooseGranularity(noisy_count, eps2, options.c2, max_side,
+                                   options.max_cells_per_axis);
+
+      // Count points of this region into the sub-grid.
+      const std::int64_t swx =
+          (region.hi[0] - region.lo[0] + region.g) / region.g;
+      const std::int64_t swy =
+          (region.hi[1] - region.lo[1] + region.g) / region.g;
+      region.cells.assign(static_cast<std::size_t>(region.g * region.g),
+                          0.0);
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        const auto x = static_cast<std::int64_t>(table.at(r, 0));
+        const auto y = static_cast<std::int64_t>(table.at(r, 1));
+        if (x < region.lo[0] || x > region.hi[0] || y < region.lo[1] ||
+            y > region.hi[1]) {
+          continue;
+        }
+        const std::int64_t sx =
+            std::min<std::int64_t>((x - region.lo[0]) / swx, region.g - 1);
+        const std::int64_t sy =
+            std::min<std::int64_t>((y - region.lo[1]) / swy, region.g - 1);
+        region.cells[static_cast<std::size_t>(sx * region.g + sy)] += 1.0;
+      }
+      // Sub-cells across all regions are disjoint: parallel composition.
+      for (double& c : region.cells) {
+        c += stats::SampleLaplace(rng, 1.0 / eps2);
+      }
+      ag->regions_.push_back(std::move(region));
+    }
+  }
+  return ag;
+}
+
+double AdaptiveGrid::EstimateRangeCount(
+    const std::vector<std::int64_t>& lo,
+    const std::vector<std::int64_t>& hi) const {
+  double total = 0.0;
+  for (const Region& region : regions_) {
+    if (lo[0] > region.hi[0] || hi[0] < region.lo[0] ||
+        lo[1] > region.hi[1] || hi[1] < region.lo[1]) {
+      continue;
+    }
+    const std::int64_t swx =
+        (region.hi[0] - region.lo[0] + region.g) / region.g;
+    const std::int64_t swy =
+        (region.hi[1] - region.lo[1] + region.g) / region.g;
+    for (std::int64_t sx = 0; sx < region.g; ++sx) {
+      const std::int64_t x0 = region.lo[0] + sx * swx;
+      const std::int64_t x1 = std::min(region.hi[0], x0 + swx - 1);
+      if (x0 > region.hi[0]) break;
+      const double ox = OverlapLength(lo[0], hi[0], x0, x1);
+      if (ox == 0.0) continue;
+      for (std::int64_t sy = 0; sy < region.g; ++sy) {
+        const std::int64_t y0 = region.lo[1] + sy * swy;
+        const std::int64_t y1 = std::min(region.hi[1], y0 + swy - 1);
+        if (y0 > region.hi[1]) break;
+        const double oy = OverlapLength(lo[1], hi[1], y0, y1);
+        if (oy == 0.0) continue;
+        const double area = static_cast<double>(x1 - x0 + 1) *
+                            static_cast<double>(y1 - y0 + 1);
+        total += region.cells[static_cast<std::size_t>(sx * region.g + sy)] *
+                 (ox * oy / area);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace dpcopula::baselines

@@ -1,0 +1,115 @@
+#include "baselines/php.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::baselines {
+
+namespace {
+
+// Upper bound on the cut candidates evaluated per interval. The L1 score of
+// one candidate costs O(interval length); evaluating every cut would make
+// the mechanism quadratic in the bin count (the worst case the paper notes
+// for P-HP), so we score an evenly spaced, data-independent subset.
+constexpr std::size_t kMaxCutCandidates = 64;
+
+// Sum of |x_i - mean| over [a, b) given the prefix sums of x.
+double IntervalL1Error(const std::vector<double>& x,
+                       const std::vector<double>& prefix, std::size_t a,
+                       std::size_t b) {
+  const double len = static_cast<double>(b - a);
+  if (len <= 1.0) return 0.0;
+  const double mean = (prefix[b] - prefix[a]) / len;
+  double err = 0.0;
+  for (std::size_t i = a; i < b; ++i) err += std::fabs(x[i] - mean);
+  return err;
+}
+
+struct Interval {
+  std::size_t lo, hi;  // [lo, hi)
+  int level;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<HistogramEstimator>> PhpMechanism::Release(
+    const data::Table& table, double epsilon, Rng* rng,
+    const PhpOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("P-HP: epsilon must be > 0");
+  }
+  if (!(options.structure_budget_fraction > 0.0 &&
+        options.structure_budget_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "P-HP: structure_budget_fraction must be in (0, 1)");
+  }
+  DPC_ASSIGN_OR_RETURN(hist::Histogram h,
+                       hist::Histogram::FromTable(table, options.max_cells));
+  const std::vector<double>& x = h.data();
+  const std::size_t n = x.size();
+
+  int depth = options.depth;
+  if (depth <= 0) {
+    depth = static_cast<int>(
+        std::ceil(std::log2(std::max(2.0, static_cast<double>(n) / 16.0))));
+    depth = std::clamp(depth, 1, 14);
+  }
+  const double eps_structure = epsilon * options.structure_budget_fraction;
+  const double eps_count = epsilon - eps_structure;
+  const double eps_per_level = eps_structure / static_cast<double>(depth);
+
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + x[i];
+
+  // Recursive bisection (worklist).
+  std::vector<Interval> work = {{0, n, 0}};
+  std::vector<Interval> buckets;
+  while (!work.empty()) {
+    Interval iv = work.back();
+    work.pop_back();
+    if (iv.level >= depth || iv.hi - iv.lo <= 1) {
+      buckets.push_back(iv);
+      continue;
+    }
+    // Candidate cuts: evenly spaced interior positions (data-independent).
+    const std::size_t len = iv.hi - iv.lo;
+    const std::size_t num_cand = std::min(kMaxCutCandidates, len - 1);
+    std::vector<std::size_t> cuts(num_cand);
+    for (std::size_t c = 0; c < num_cand; ++c) {
+      cuts[c] = iv.lo + 1 + c * (len - 1) / num_cand;
+    }
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    // Exponential mechanism over cuts: score = -(L1 error of the two
+    // halves); changing one record moves one cell by 1, which moves the
+    // score by at most 2 (Acs et al.).
+    std::vector<double> scores(cuts.size());
+    for (std::size_t c = 0; c < cuts.size(); ++c) {
+      scores[c] = -(IntervalL1Error(x, prefix, iv.lo, cuts[c]) +
+                    IntervalL1Error(x, prefix, cuts[c], iv.hi));
+    }
+    DPC_ASSIGN_OR_RETURN(std::size_t pick,
+                         dp::ExponentialMechanism(rng, scores, eps_per_level,
+                                                  /*sensitivity=*/2.0));
+    const std::size_t cut = cuts[pick];
+    work.push_back({iv.lo, cut, iv.level + 1});
+    work.push_back({cut, iv.hi, iv.level + 1});
+  }
+
+  // Noisy bucket totals, spread uniformly (buckets are disjoint =>
+  // parallel composition at eps_count).
+  hist::Histogram out = h;
+  auto& data = out.mutable_data();
+  for (const Interval& b : buckets) {
+    const double total = prefix[b.hi] - prefix[b.lo];
+    const double noisy = total + stats::SampleLaplace(rng, 1.0 / eps_count);
+    const double per_cell = noisy / static_cast<double>(b.hi - b.lo);
+    for (std::size_t i = b.lo; i < b.hi; ++i) data[i] = per_cell;
+  }
+  return std::make_unique<HistogramEstimator>(std::move(out), "P-HP");
+}
+
+}  // namespace dpcopula::baselines

@@ -1,0 +1,45 @@
+#ifndef DPCOPULA_BASELINES_PHP_H_
+#define DPCOPULA_BASELINES_PHP_H_
+
+#include <memory>
+
+#include "baselines/range_estimator.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace dpcopula::baselines {
+
+/// P-HP — private hierarchical partitioning (Acs, Castelluccia & Chen,
+/// ICDM 2012 [1]).
+///
+/// Compresses the (flattened, dense) histogram by recursive bisection: at
+/// each step the exponential mechanism picks the cut point that minimizes
+/// the within-bucket L1 deviation from the bucket means (score sensitivity
+/// 2), recursing to a maximum depth; each final bucket then releases a noisy
+/// total (Lap(1/eps_count), buckets disjoint => parallel composition) that
+/// is spread uniformly over the bucket's cells.
+///
+/// Like every histogram-input method, this requires materializing the dense
+/// domain and fails with ResourceExhausted when it cannot (the
+/// scalability wall the paper demonstrates).
+struct PhpOptions {
+  /// Maximum recursion depth; final bucket count <= 2^depth. 0 selects
+  /// ceil(log2(num_cells / 16)) clamped to [1, 14].
+  int depth = 0;
+  /// Fraction of epsilon spent on choosing the partition structure.
+  double structure_budget_fraction = 0.5;
+  std::uint64_t max_cells = hist::Histogram::kDefaultMaxCells;
+};
+
+class PhpMechanism {
+ public:
+  /// Releases a noisy histogram estimator for `table` with `epsilon`-DP.
+  static Result<std::unique_ptr<HistogramEstimator>> Release(
+      const data::Table& table, double epsilon, Rng* rng,
+      const PhpOptions& options = {});
+};
+
+}  // namespace dpcopula::baselines
+
+#endif  // DPCOPULA_BASELINES_PHP_H_

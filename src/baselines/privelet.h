@@ -1,0 +1,51 @@
+#ifndef DPCOPULA_BASELINES_PRIVELET_H_
+#define DPCOPULA_BASELINES_PRIVELET_H_
+
+#include <memory>
+
+#include "baselines/range_estimator.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace dpcopula::baselines {
+
+/// Privelet+ — the wavelet mechanism of Xiao, Wang & Gehrke (ICDE 2010
+/// [39]): transform the dense frequency histogram with a (nested,
+/// separable) Haar wavelet, add Laplace noise in the coefficient domain,
+/// and invert. Because one record touches only O(polylog |domain|) wavelet
+/// coefficients, range queries see polylogarithmic noise instead of the
+/// O(|range|) noise of per-cell perturbation.
+///
+/// This implementation works in the *orthonormal* Haar basis with
+/// Privelet's generalized (per-level weighted) sensitivity calibration:
+/// coefficient c receives Lap(prod_j u_j(c_j) / epsilon) where the per-axis
+/// weight u_j is (L_j+1)/sqrt(n_j) for the scaling coefficient and
+/// (L_j+1)/sqrt(support) for a detail coefficient. A one-cell change meets
+/// the epsilon-DP condition with equality, and any range query accumulates
+/// only O(prod_j (L_j+1)^{3/2} / epsilon) noise — the polylogarithmic bound
+/// of [39] (see privelet.cc for the derivation).
+///
+/// Requires materializing the dense histogram: like the paper, this method
+/// is only applicable when the product domain fits the histogram cell
+/// budget, and fails with ResourceExhausted otherwise.
+struct PriveletOptions {
+  std::uint64_t max_cells = hist::Histogram::kDefaultMaxCells;
+};
+
+class PriveletMechanism {
+ public:
+  /// Builds the noisy histogram estimator for `table` with `epsilon`-DP.
+  static Result<std::unique_ptr<HistogramEstimator>> Release(
+      const data::Table& table, double epsilon, Rng* rng,
+      const PriveletOptions& options = {});
+
+  /// Exact L1 sensitivity of the orthonormal Haar coefficient vector for a
+  /// single-cell unit change, for a 1-d transform padded to `padded_length`
+  /// (a power of two). Exposed for tests.
+  static double HaarL1Sensitivity(std::size_t padded_length);
+};
+
+}  // namespace dpcopula::baselines
+
+#endif  // DPCOPULA_BASELINES_PRIVELET_H_

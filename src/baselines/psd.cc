@@ -1,0 +1,208 @@
+#include "baselines/psd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::baselines {
+
+namespace {
+
+struct BuildContext {
+  const data::Table* table;
+  Rng* rng;
+  int depth;
+  double median_eps_per_level;
+  std::vector<double> count_eps_per_level;  // Indexed by level (0 = root).
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PsdTree>> PsdTree::Build(const data::Table& table,
+                                                double epsilon, Rng* rng,
+                                                const PsdOptions& options) {
+  const std::size_t m = table.num_columns();
+  if (m == 0) return Status::InvalidArgument("PSD: table has no columns");
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("PSD: epsilon must be > 0");
+  }
+  if (!(options.median_budget_fraction > 0.0 &&
+        options.median_budget_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "PSD: median_budget_fraction must be in (0, 1)");
+  }
+
+  auto tree = std::make_unique<PsdTree>();
+  int depth = options.depth;
+  if (depth <= 0) {
+    const double n = std::max<double>(1.0, static_cast<double>(table.num_rows()));
+    const double target = std::max<double>(1.0, static_cast<double>(options.leaf_target));
+    depth = static_cast<int>(std::ceil(std::log2(std::max(2.0, n / target))));
+    depth = std::clamp(depth, 1, options.max_depth_cap);
+  }
+  tree->depth_ = depth;
+
+  const double eps_median = epsilon * options.median_budget_fraction;
+  const double eps_count = epsilon - eps_median;
+
+  // Geometric per-level count budgets (levels 0..depth; leaves get the
+  // largest share). A root-to-leaf path sees each level once (sequential
+  // composition); nodes within a level are disjoint (parallel composition).
+  std::vector<double> level_eps(static_cast<std::size_t>(depth) + 1);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < level_eps.size(); ++i) {
+    level_eps[i] = std::pow(options.count_budget_ratio,
+                            static_cast<double>(i));
+    norm += level_eps[i];
+  }
+  for (double& e : level_eps) e *= eps_count / norm;
+
+  // Root box = full domain.
+  std::vector<std::int64_t> lo(m, 0), hi(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    hi[j] = table.schema().attribute(j).domain_size - 1;
+  }
+  std::vector<std::size_t> all_rows(table.num_rows());
+  for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+
+  // Iterative DFS with an explicit stack to avoid deep recursion.
+  struct Frame {
+    std::vector<std::size_t> rows;
+    std::vector<std::int64_t> lo, hi;
+    int level;
+    int parent;     // Node index of parent, -1 for root.
+    bool is_left;   // Which child slot of the parent to fill.
+  };
+  const double median_eps = eps_median / static_cast<double>(depth);
+
+  std::vector<Frame> stack;
+  stack.push_back({std::move(all_rows), lo, hi, 0, -1, true});
+
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+
+    Node node;
+    node.box_lo = f.lo;
+    node.box_hi = f.hi;
+    const double true_count = static_cast<double>(f.rows.size());
+    node.noisy_count =
+        true_count +
+        stats::SampleLaplace(
+            rng, 1.0 / level_eps[static_cast<std::size_t>(f.level)]);
+
+    // Decide whether to split: depth budget left and a splittable axis.
+    int split_dim = -1;
+    if (f.level < depth) {
+      for (std::size_t probe = 0; probe < m; ++probe) {
+        const auto d = (static_cast<std::size_t>(f.level) + probe) % m;
+        if (f.hi[d] > f.lo[d]) {
+          split_dim = static_cast<int>(d);
+          break;
+        }
+      }
+    }
+
+    const int node_index = static_cast<int>(tree->nodes_.size());
+    if (split_dim >= 0) {
+      const auto d = static_cast<std::size_t>(split_dim);
+      // Private median along d via the exponential mechanism. Candidates
+      // are split values v in [lo_d, hi_d); left takes values <= v. Score
+      // = -|rank(v) - n/2| with sensitivity 1.
+      std::vector<double> vals;
+      vals.reserve(f.rows.size());
+      for (std::size_t r : f.rows) vals.push_back(table.at(r, d));
+      std::sort(vals.begin(), vals.end());
+      const double half = static_cast<double>(vals.size()) / 2.0;
+
+      const std::int64_t cand_lo = f.lo[d];
+      const std::int64_t cand_hi = f.hi[d] - 1;
+      std::vector<double> scores(
+          static_cast<std::size_t>(cand_hi - cand_lo + 1));
+      for (std::int64_t v = cand_lo; v <= cand_hi; ++v) {
+        const auto rank = static_cast<double>(
+            std::upper_bound(vals.begin(), vals.end(),
+                             static_cast<double>(v)) -
+            vals.begin());
+        scores[static_cast<std::size_t>(v - cand_lo)] =
+            -std::fabs(rank - half);
+      }
+      DPC_ASSIGN_OR_RETURN(std::size_t pick,
+                           dp::ExponentialMechanism(rng, scores, median_eps,
+                                                    /*sensitivity=*/1.0));
+      const std::int64_t split_value =
+          cand_lo + static_cast<std::int64_t>(pick);
+
+      node.split_dim = split_dim;
+      node.split_value = split_value;
+
+      // Partition rows.
+      std::vector<std::size_t> left_rows, right_rows;
+      for (std::size_t r : f.rows) {
+        if (table.at(r, d) <= static_cast<double>(split_value)) {
+          left_rows.push_back(r);
+        } else {
+          right_rows.push_back(r);
+        }
+      }
+      std::vector<std::int64_t> left_hi = f.hi;
+      left_hi[d] = split_value;
+      std::vector<std::int64_t> right_lo = f.lo;
+      right_lo[d] = split_value + 1;
+
+      tree->nodes_.push_back(std::move(node));
+      // Children are filled when their frames pop; record linkage via
+      // parent pointers in the frames.
+      stack.push_back({std::move(right_rows), right_lo, f.hi, f.level + 1,
+                       node_index, false});
+      stack.push_back({std::move(left_rows), f.lo, left_hi, f.level + 1,
+                       node_index, true});
+    } else {
+      tree->nodes_.push_back(std::move(node));
+    }
+
+    if (f.parent >= 0) {
+      Node& parent = tree->nodes_[static_cast<std::size_t>(f.parent)];
+      if (f.is_left) {
+        parent.left = node_index;
+      } else {
+        parent.right = node_index;
+      }
+    }
+  }
+  return tree;
+}
+
+double PsdTree::QueryNode(int node_index, const std::vector<std::int64_t>& lo,
+                          const std::vector<std::int64_t>& hi) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  // Intersection of the query box with the node box.
+  double node_volume = 1.0;
+  double overlap_volume = 1.0;
+  bool contained = true;
+  for (std::size_t j = 0; j < node.box_lo.size(); ++j) {
+    const std::int64_t olo = std::max(lo[j], node.box_lo[j]);
+    const std::int64_t ohi = std::min(hi[j], node.box_hi[j]);
+    if (olo > ohi) return 0.0;  // Disjoint.
+    overlap_volume *= static_cast<double>(ohi - olo + 1);
+    node_volume *=
+        static_cast<double>(node.box_hi[j] - node.box_lo[j] + 1);
+    if (olo != node.box_lo[j] || ohi != node.box_hi[j]) contained = false;
+  }
+  if (contained) return node.noisy_count;
+  if (node.left < 0) {
+    // Partially covered leaf: uniformity assumption within the box.
+    return node.noisy_count * overlap_volume / node_volume;
+  }
+  return QueryNode(node.left, lo, hi) + QueryNode(node.right, lo, hi);
+}
+
+double PsdTree::EstimateRangeCount(const std::vector<std::int64_t>& lo,
+                                   const std::vector<std::int64_t>& hi) const {
+  if (nodes_.empty()) return 0.0;
+  return QueryNode(0, lo, hi);
+}
+
+}  // namespace dpcopula::baselines

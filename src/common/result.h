@@ -1,0 +1,91 @@
+#ifndef DPCOPULA_COMMON_RESULT_H_
+#define DPCOPULA_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dpcopula {
+
+/// Value-or-error container in the style of arrow::Result. Holds either a `T`
+/// or a non-OK `Status`. Accessing the value of an errored Result aborts, so
+/// callers must check `ok()` (or use DPC_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: allows `return Status::...;`. Constructing a
+  /// Result from an OK status is a programming error and aborts.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Moves the value out; aborts if errored.
+  T MoveValueUnsafe() { return std::move(ValueOrDie()); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(payload_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+#define DPC_CONCAT_IMPL(a, b) a##b
+#define DPC_CONCAT(a, b) DPC_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression; on error, returns its status from
+/// the enclosing function, otherwise assigns the value to `lhs`.
+#define DPC_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  DPC_ASSIGN_OR_RETURN_IMPL(DPC_CONCAT(_dpc_result_, __LINE__), lhs, rexpr)
+
+#define DPC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace dpcopula
+
+#endif  // DPCOPULA_COMMON_RESULT_H_

@@ -1,0 +1,51 @@
+#ifndef DPCOPULA_COMMON_RNG_H_
+#define DPCOPULA_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dpcopula {
+
+/// Deterministic pseudo-random number generator: xoshiro256++ seeded through
+/// splitmix64. Fast, high quality, and reproducible across platforms, which
+/// matters for the experiment harness (every bench fixes its seed).
+///
+/// Not cryptographically secure; the privacy guarantees in this library are
+/// analytical (sensitivity / Laplace-scale proofs), and a production release
+/// for adversarial settings would swap in a CSPRNG behind this same interface.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t NextUint64();
+
+  /// Uniform on [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform on (0, 1) — never returns exactly 0, safe for log() transforms.
+  double NextDoubleOpen();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t NextUint64Below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive, lo <= hi.
+  std::int64_t NextInt64InRange(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal deviate (Marsaglia polar method with caching).
+  double NextGaussian();
+
+  /// Derives an independent child generator; useful for giving parallel
+  /// experiment arms decorrelated streams from one master seed.
+  Rng Split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace dpcopula
+
+#endif  // DPCOPULA_COMMON_RNG_H_

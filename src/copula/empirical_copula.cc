@@ -1,0 +1,155 @@
+#include "copula/empirical_copula.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "marginals/postprocess.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::copula {
+
+namespace {
+
+Result<std::vector<double>> CountCells(
+    const std::vector<std::vector<double>>& pseudo, std::int64_t grid_size,
+    std::size_t* dims_out) {
+  const std::size_t m = pseudo.size();
+  if (m == 0) return Status::InvalidArgument("empirical copula: no columns");
+  if (grid_size < 2) {
+    return Status::InvalidArgument("empirical copula: grid_size must be >= 2");
+  }
+  double cells = 1.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    cells *= static_cast<double>(grid_size);
+    if (cells > static_cast<double>(hist::Histogram::kDefaultMaxCells)) {
+      return Status::ResourceExhausted(
+          "empirical copula grid exceeds the cell budget; use a parametric "
+          "copula for this dimensionality");
+    }
+  }
+  const std::size_t n = pseudo[0].size();
+  for (const auto& col : pseudo) {
+    if (col.size() != n) {
+      return Status::InvalidArgument("ragged pseudo-observation columns");
+    }
+  }
+  std::vector<double> counts(static_cast<std::size_t>(cells), 0.0);
+  const auto g = static_cast<double>(grid_size);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t flat = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double u = pseudo[j][i];
+      if (!(u > 0.0 && u < 1.0)) {
+        return Status::OutOfRange("pseudo-observation outside (0, 1)");
+      }
+      const auto cell = static_cast<std::uint64_t>(
+          std::min<double>(g - 1.0, std::floor(u * g)));
+      flat = flat * static_cast<std::uint64_t>(grid_size) + cell;
+    }
+    counts[flat] += 1.0;
+  }
+  *dims_out = m;
+  return counts;
+}
+
+}  // namespace
+
+Result<EmpiricalCopula> EmpiricalCopula::FromCounts(
+    std::vector<double> counts, std::size_t dims, std::int64_t grid_size) {
+  double total = 0.0;
+  for (double c : counts) total += std::max(0.0, c);
+  EmpiricalCopula copula;
+  copula.dims_ = dims;
+  copula.grid_size_ = grid_size;
+  copula.cell_probs_.resize(counts.size());
+  if (total <= 0.0) {
+    // Degenerate: independence copula.
+    std::fill(copula.cell_probs_.begin(), copula.cell_probs_.end(),
+              1.0 / static_cast<double>(counts.size()));
+  } else {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      copula.cell_probs_[i] = std::max(0.0, counts[i]) / total;
+    }
+  }
+  copula.cell_cumulative_.resize(counts.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    acc += copula.cell_probs_[i];
+    copula.cell_cumulative_[i] = acc;
+  }
+  copula.cell_cumulative_.back() = 1.0;
+  return copula;
+}
+
+Result<EmpiricalCopula> EmpiricalCopula::Fit(
+    const std::vector<std::vector<double>>& pseudo, std::int64_t grid_size) {
+  std::size_t dims = 0;
+  DPC_ASSIGN_OR_RETURN(std::vector<double> counts,
+                       CountCells(pseudo, grid_size, &dims));
+  return FromCounts(std::move(counts), dims, grid_size);
+}
+
+Result<EmpiricalCopula> EmpiricalCopula::FitDp(
+    const std::vector<std::vector<double>>& pseudo, std::int64_t grid_size,
+    double epsilon, Rng* rng) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("empirical copula: epsilon must be > 0");
+  }
+  std::size_t dims = 0;
+  DPC_ASSIGN_OR_RETURN(std::vector<double> counts,
+                       CountCells(pseudo, grid_size, &dims));
+  // One record occupies exactly one cell => histogram sensitivity 1.
+  for (double& c : counts) {
+    c += stats::SampleLaplace(rng, 1.0 / epsilon);
+  }
+  counts = marginals::ProjectToNoisyTotal(counts);
+  return FromCounts(std::move(counts), dims, grid_size);
+}
+
+std::uint64_t EmpiricalCopula::CellIndex(const std::vector<double>& u) const {
+  const auto g = static_cast<double>(grid_size_);
+  std::uint64_t flat = 0;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    const auto cell = static_cast<std::uint64_t>(
+        std::clamp(std::floor(u[j] * g), 0.0, g - 1.0));
+    flat = flat * static_cast<std::uint64_t>(grid_size_) + cell;
+  }
+  return flat;
+}
+
+Result<double> EmpiricalCopula::CellProbability(
+    const std::vector<double>& u) const {
+  if (u.size() != dims_) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  return cell_probs_[CellIndex(u)];
+}
+
+Result<double> EmpiricalCopula::Density(const std::vector<double>& u) const {
+  DPC_ASSIGN_OR_RETURN(double p, CellProbability(u));
+  return p * std::pow(static_cast<double>(grid_size_),
+                      static_cast<double>(dims_));
+}
+
+std::vector<double> EmpiricalCopula::SampleUniforms(Rng* rng) const {
+  // Draw a cell by cumulative probability.
+  const double r = rng->NextDouble();
+  const auto it = std::lower_bound(cell_cumulative_.begin(),
+                                   cell_cumulative_.end(), r);
+  auto flat = static_cast<std::uint64_t>(
+      it == cell_cumulative_.end()
+          ? cell_cumulative_.size() - 1
+          : static_cast<std::size_t>(it - cell_cumulative_.begin()));
+  // Decode the multi-index and jitter uniformly within the cell.
+  std::vector<double> u(dims_);
+  const auto g = static_cast<std::uint64_t>(grid_size_);
+  for (std::size_t j = dims_; j-- > 0;) {
+    const std::uint64_t cell = flat % g;
+    flat /= g;
+    u[j] = (static_cast<double>(cell) + rng->NextDouble()) /
+           static_cast<double>(grid_size_);
+  }
+  return u;
+}
+
+}  // namespace dpcopula::copula

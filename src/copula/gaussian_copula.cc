@@ -1,0 +1,121 @@
+#include "copula/gaussian_copula.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "stats/normal.h"
+
+namespace dpcopula::copula {
+
+Result<GaussianCopula> GaussianCopula::Create(
+    const linalg::Matrix& correlation) {
+  if (correlation.rows() != correlation.cols() || correlation.rows() == 0) {
+    return Status::InvalidArgument("correlation matrix must be square");
+  }
+  for (std::size_t i = 0; i < correlation.rows(); ++i) {
+    if (std::fabs(correlation(i, i) - 1.0) > 1e-8) {
+      return Status::InvalidArgument(
+          "correlation matrix must have unit diagonal");
+    }
+  }
+  GaussianCopula c;
+  c.correlation_ = correlation;
+  DPC_ASSIGN_OR_RETURN(c.cholesky_, linalg::CholeskyDecompose(correlation));
+  DPC_ASSIGN_OR_RETURN(c.precision_, linalg::CholeskyInverse(c.cholesky_));
+  c.log_det_ = linalg::CholeskyLogDet(c.cholesky_);
+  return c;
+}
+
+double GaussianCopula::LogDensityFromScores(
+    const std::vector<double>& z) const {
+  const std::size_t m = dims();
+  // z^T (P^{-1} - I) z.
+  double quad = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row += precision_(i, j) * z[j];
+    quad += z[i] * (row - z[i]);
+  }
+  return -0.5 * log_det_ - 0.5 * quad;
+}
+
+Result<double> GaussianCopula::LogDensity(const std::vector<double>& u) const {
+  if (u.size() != dims()) {
+    return Status::InvalidArgument("LogDensity: dimension mismatch");
+  }
+  std::vector<double> z(u.size());
+  for (std::size_t j = 0; j < u.size(); ++j) {
+    if (!(u[j] > 0.0 && u[j] < 1.0)) {
+      return Status::OutOfRange("pseudo-observation outside (0, 1)");
+    }
+    z[j] = stats::NormalInverseCdf(u[j]);
+  }
+  return LogDensityFromScores(z);
+}
+
+Result<double> GaussianCopula::LogLikelihood(
+    const std::vector<std::vector<double>>& pseudo) const {
+  if (pseudo.size() != dims()) {
+    return Status::InvalidArgument("LogLikelihood: dimension mismatch");
+  }
+  const std::size_t n = pseudo.empty() ? 0 : pseudo[0].size();
+  std::vector<double> u(dims());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dims(); ++j) u[j] = pseudo[j][i];
+    DPC_ASSIGN_OR_RETURN(double ld, LogDensity(u));
+    acc += ld;
+  }
+  return acc;
+}
+
+Result<double> GaussianCopula::Aic(
+    const std::vector<std::vector<double>>& pseudo) const {
+  DPC_ASSIGN_OR_RETURN(double ll, LogLikelihood(pseudo));
+  const double m = static_cast<double>(dims());
+  const double num_params = m * (m - 1.0) / 2.0;
+  return 2.0 * num_params - 2.0 * ll;
+}
+
+Result<linalg::Matrix> NormalScoresCorrelation(
+    const std::vector<std::vector<double>>& scores) {
+  const std::size_t m = scores.size();
+  if (m == 0) return Status::InvalidArgument("no score columns");
+  const std::size_t n = scores[0].size();
+  if (n < 2) return Status::InvalidArgument("need >= 2 rows");
+  for (const auto& col : scores) {
+    if (col.size() != n) {
+      return Status::InvalidArgument("ragged score columns");
+    }
+  }
+
+  // Column means and centered second moments.
+  std::vector<double> mean(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (double v : scores[j]) mean[j] += v;
+    mean[j] /= static_cast<double>(n);
+  }
+  linalg::Matrix cov(m, m);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a; b < m; ++b) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += (scores[a][i] - mean[a]) * (scores[b][i] - mean[b]);
+      }
+      cov(a, b) = acc;
+      cov(b, a) = acc;
+    }
+  }
+  // Normalize to a correlation matrix.
+  linalg::Matrix corr(m, m);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      const double denom = std::sqrt(cov(a, a) * cov(b, b));
+      corr(a, b) = (denom > 0.0) ? cov(a, b) / denom : (a == b ? 1.0 : 0.0);
+    }
+    corr(a, a) = 1.0;
+  }
+  return corr;
+}
+
+}  // namespace dpcopula::copula

@@ -1,0 +1,145 @@
+#include "copula/kendall_estimator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "linalg/cholesky.h"
+#include "linalg/psd_repair.h"
+#include "stats/distributions.h"
+#include "stats/kendall.h"
+
+namespace dpcopula::copula {
+
+std::int64_t AdequateKendallSampleSize(std::size_t m, double epsilon2) {
+  const double md = static_cast<double>(m);
+  return static_cast<std::int64_t>(
+      std::ceil(50.0 * md * (md - 1.0) / epsilon2));
+}
+
+Result<KendallEstimate> EstimateKendallCorrelation(
+    const data::Table& table, double epsilon2, Rng* rng,
+    const KendallEstimatorOptions& options) {
+  const std::size_t m = table.num_columns();
+  const auto n = static_cast<std::int64_t>(table.num_rows());
+  if (m < 2) {
+    return Status::InvalidArgument("Kendall estimator needs >= 2 columns");
+  }
+  if (n < 2) {
+    return Status::InvalidArgument("Kendall estimator needs >= 2 rows");
+  }
+  if (!(epsilon2 > 0.0)) {
+    return Status::InvalidArgument("epsilon2 must be > 0");
+  }
+
+  // Decide the working sample.
+  std::int64_t n_used = n;
+  if (options.subsample_size_override > 0) {
+    n_used = std::min(n, options.subsample_size_override);
+  } else if (options.subsample) {
+    n_used = std::min(n, AdequateKendallSampleSize(m, epsilon2));
+  }
+  n_used = std::max<std::int64_t>(n_used, 2);
+
+  // Columns restricted to the subsample (a single shared subsample keeps
+  // the pairwise estimates mutually consistent).
+  std::vector<std::vector<double>> cols(m);
+  if (n_used == n) {
+    for (std::size_t j = 0; j < m; ++j) cols[j] = table.column(j);
+  } else {
+    // Partial Fisher–Yates to draw n_used distinct row indices.
+    std::vector<std::size_t> idx(static_cast<std::size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    for (std::int64_t i = 0; i < n_used; ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng->NextInt64InRange(i, n - 1));
+      std::swap(idx[static_cast<std::size_t>(i)], idx[j]);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      cols[j].resize(static_cast<std::size_t>(n_used));
+      for (std::int64_t i = 0; i < n_used; ++i) {
+        cols[j][static_cast<std::size_t>(i)] =
+            table.column(j)[idx[static_cast<std::size_t>(i)]];
+      }
+    }
+  }
+
+  // Lemma 4.1: sensitivity of one pairwise tau is 4 / (n_used + 1); each of
+  // the C(m,2) coefficients receives epsilon2 / C(m,2) (Theorem 4.2).
+  const double num_pairs = static_cast<double>(m) * (m - 1) / 2.0;
+  const double sensitivity = 4.0 / (static_cast<double>(n_used) + 1.0);
+  const double scale = num_pairs * sensitivity / epsilon2;
+
+  // Enumerate the C(m,2) pairs and pre-derive one RNG stream per pair from
+  // the caller's generator; the result is then independent of the thread
+  // count (bit-identical sequential vs parallel).
+  struct Pair {
+    std::size_t j, k;
+    Rng rng;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = j + 1; k < m; ++k) {
+      pairs.push_back({j, k, rng->Split()});
+    }
+  }
+
+  std::vector<double> rhos(pairs.size(), 0.0);
+  std::atomic<bool> failed{false};
+  auto worker = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end && !failed.load(); ++i) {
+      Pair& pair = pairs[i];
+      auto tau = stats::KendallTau(cols[pair.j], cols[pair.k]);
+      if (!tau.ok()) {
+        failed.store(true);
+        return;
+      }
+      double noisy_tau =
+          *tau + stats::SampleLaplace(&pair.rng, scale);
+      // Clamping into the valid tau range is post-processing and costs no
+      // privacy.
+      noisy_tau = std::clamp(noisy_tau, -1.0, 1.0);
+      rhos[i] = std::sin(M_PI / 2.0 * noisy_tau);  // Eq. (4).
+    }
+  };
+  const int threads = std::max(1, options.num_threads);
+  if (threads <= 1 || pairs.size() < 2) {
+    worker(0, pairs.size());
+  } else {
+    const std::size_t num_workers =
+        std::min<std::size_t>(static_cast<std::size_t>(threads),
+                              pairs.size());
+    std::vector<std::thread> pool;
+    const std::size_t chunk =
+        (pairs.size() + num_workers - 1) / num_workers;
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(pairs.size(), begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back(worker, begin, end);
+    }
+    for (auto& t : pool) t.join();
+  }
+  if (failed.load()) {
+    return Status::Internal("pairwise Kendall computation failed");
+  }
+
+  linalg::Matrix p(m, m);
+  for (std::size_t j = 0; j < m; ++j) p(j, j) = 1.0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    p(pairs[i].j, pairs[i].k) = rhos[i];
+    p(pairs[i].k, pairs[i].j) = rhos[i];
+  }
+
+  KendallEstimate est;
+  est.rows_used = n_used;
+  est.per_pair_epsilon = epsilon2 / num_pairs;
+  est.laplace_scale = scale;
+  est.repaired = !linalg::IsPositiveDefinite(p);
+  DPC_ASSIGN_OR_RETURN(est.correlation, linalg::EnsureCorrelationMatrix(p));
+  return est;
+}
+
+}  // namespace dpcopula::copula

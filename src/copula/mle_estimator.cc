@@ -1,0 +1,98 @@
+#include "copula/mle_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "copula/gaussian_copula.h"
+#include "copula/pseudo_obs.h"
+#include "linalg/cholesky.h"
+#include "linalg/psd_repair.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::copula {
+
+std::int64_t PaperMlePartitionCount(std::size_t m, double epsilon2) {
+  const double md = static_cast<double>(m);
+  const double pairs = md * (md - 1.0) / 2.0;
+  return static_cast<std::int64_t>(std::ceil(pairs / (0.025 * epsilon2)));
+}
+
+Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
+                                           double epsilon2, Rng* rng,
+                                           const MleEstimatorOptions& options) {
+  const std::size_t m = table.num_columns();
+  const auto n = static_cast<std::int64_t>(table.num_rows());
+  if (m < 2) {
+    return Status::InvalidArgument("MLE estimator needs >= 2 columns");
+  }
+  if (!(epsilon2 > 0.0)) {
+    return Status::InvalidArgument("epsilon2 must be > 0");
+  }
+
+  std::int64_t l = options.num_partitions;
+  if (l <= 0) {
+    l = PaperMlePartitionCount(m, epsilon2);
+    // The paper's rule presumes a very large n; clamp so each partition
+    // keeps enough rows to fit a copula at all.
+    const std::int64_t max_l =
+        std::max<std::int64_t>(1, n / std::max<std::int64_t>(
+                                          2, options.min_partition_rows));
+    l = std::clamp<std::int64_t>(l, 1, max_l);
+  }
+  const std::int64_t b = n / l;  // Rows per partition; remainder dropped.
+  if (b < 2) {
+    return Status::InvalidArgument(
+        "MLE estimator: fewer than 2 rows per partition (n=" +
+        std::to_string(n) + ", l=" + std::to_string(l) + ")");
+  }
+
+  // Average per-partition normal-scores correlations.
+  linalg::Matrix avg(m, m);
+  for (std::int64_t t = 0; t < l; ++t) {
+    // Slice rows [t*b, (t+1)*b) of each column.
+    data::Table part = data::Table::Zeros(table.schema(),
+                                          static_cast<std::size_t>(b));
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto& col = table.column(j);
+      auto& dst = part.mutable_column(j);
+      for (std::int64_t i = 0; i < b; ++i) {
+        dst[static_cast<std::size_t>(i)] =
+            col[static_cast<std::size_t>(t * b + i)];
+      }
+    }
+    DPC_ASSIGN_OR_RETURN(auto pseudo, PseudoObservations(part));
+    const auto scores = NormalScores(pseudo);
+    DPC_ASSIGN_OR_RETURN(linalg::Matrix corr, NormalScoresCorrelation(scores));
+    avg = avg + corr;
+  }
+  avg = avg.Scaled(1.0 / static_cast<double>(l));
+
+  // Algorithm 2 step 3: Laplace noise with scale C(m,2) * Lambda / (l *
+  // epsilon2), Lambda = 2 (diameter of [-1, 1]). Averaging over l disjoint
+  // partitions reduces each coefficient's sensitivity to Lambda / l.
+  const double num_pairs = static_cast<double>(m) * (m - 1) / 2.0;
+  constexpr double kLambda = 2.0;
+  const double scale =
+      num_pairs * kLambda / (static_cast<double>(l) * epsilon2);
+
+  linalg::Matrix p(m, m);
+  for (std::size_t j = 0; j < m; ++j) p(j, j) = 1.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = j + 1; k < m; ++k) {
+      double noisy = avg(j, k) + stats::SampleLaplace(rng, scale);
+      noisy = std::clamp(noisy, -1.0, 1.0);
+      p(j, k) = noisy;
+      p(k, j) = noisy;
+    }
+  }
+
+  MleEstimate est;
+  est.num_partitions = l;
+  est.rows_per_partition = b;
+  est.laplace_scale = scale;
+  est.repaired = !linalg::IsPositiveDefinite(p);
+  DPC_ASSIGN_OR_RETURN(est.correlation, linalg::EnsureCorrelationMatrix(p));
+  return est;
+}
+
+}  // namespace dpcopula::copula

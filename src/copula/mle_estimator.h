@@ -1,0 +1,53 @@
+#ifndef DPCOPULA_COPULA_MLE_ESTIMATOR_H_
+#define DPCOPULA_COPULA_MLE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+#include "linalg/matrix.h"
+
+namespace dpcopula::copula {
+
+/// Options for the DP MLE correlation estimator (Algorithm 2 — Dwork &
+/// Smith sample-and-aggregate).
+struct MleEstimatorOptions {
+  /// Number of disjoint horizontal partitions l. 0 selects the paper's rule
+  /// l = ceil(C(m,2) / (0.025 * epsilon2)), clamped so each partition keeps
+  /// at least `min_partition_rows` records.
+  std::int64_t num_partitions = 0;
+
+  /// Lower bound on records per partition when auto-selecting l. A Gaussian
+  /// copula correlation estimate needs at least a handful of rows to be
+  /// informative.
+  std::int64_t min_partition_rows = 10;
+};
+
+/// Diagnostics reported alongside the private correlation matrix.
+struct MleEstimate {
+  linalg::Matrix correlation;     // The DP correlation matrix P~ (valid).
+  std::int64_t num_partitions = 0;
+  std::int64_t rows_per_partition = 0;
+  double laplace_scale = 0.0;     // Noise scale per averaged coefficient.
+  bool repaired = false;
+};
+
+/// Computes the DP correlation matrix of Algorithm 2: split the data into l
+/// disjoint partitions, fit the Gaussian copula on each via the
+/// normal-scores pseudo-MLE (see DESIGN.md §3 substitution 5), average the
+/// per-partition coefficient estimates, and add Laplace noise with scale
+/// C(m,2) * Lambda / (l * epsilon2) where Lambda = 2 is the diameter of a
+/// correlation coefficient's space. Parallel composition over the disjoint
+/// partitions plus sequential composition over coefficients gives
+/// epsilon2-DP.
+Result<MleEstimate> EstimateMleCorrelation(
+    const data::Table& table, double epsilon2, Rng* rng,
+    const MleEstimatorOptions& options = {});
+
+/// The paper's partition-count rule: ceil(C(m,2) / (0.025 * epsilon2)).
+std::int64_t PaperMlePartitionCount(std::size_t m, double epsilon2);
+
+}  // namespace dpcopula::copula
+
+#endif  // DPCOPULA_COPULA_MLE_ESTIMATOR_H_

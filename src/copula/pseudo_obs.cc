@@ -1,0 +1,51 @@
+#include "copula/pseudo_obs.h"
+
+#include "stats/normal.h"
+
+namespace dpcopula::copula {
+
+Result<std::vector<std::vector<double>>> PseudoObservations(
+    const data::Table& table) {
+  std::vector<stats::EmpiricalCdf> cdfs;
+  cdfs.reserve(table.num_columns());
+  for (std::size_t j = 0; j < table.num_columns(); ++j) {
+    DPC_ASSIGN_OR_RETURN(
+        stats::EmpiricalCdf cdf,
+        stats::EmpiricalCdf::FromData(table.column(j),
+                                      table.schema().attribute(j).domain_size));
+    cdfs.push_back(std::move(cdf));
+  }
+  return PseudoObservationsWithCdfs(table, cdfs);
+}
+
+Result<std::vector<std::vector<double>>> PseudoObservationsWithCdfs(
+    const data::Table& table, const std::vector<stats::EmpiricalCdf>& cdfs) {
+  if (cdfs.size() != table.num_columns()) {
+    return Status::InvalidArgument("PseudoObservations: one CDF per column");
+  }
+  std::vector<std::vector<double>> pseudo(table.num_columns());
+  for (std::size_t j = 0; j < table.num_columns(); ++j) {
+    const auto& col = table.column(j);
+    pseudo[j].resize(col.size());
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      // Midpoint evaluation keeps discrete data centered within its
+      // cumulative step and strictly inside (0, 1).
+      pseudo[j][i] = cdfs[j].EvaluateMid(col[i]);
+    }
+  }
+  return pseudo;
+}
+
+std::vector<std::vector<double>> NormalScores(
+    const std::vector<std::vector<double>>& pseudo) {
+  std::vector<std::vector<double>> z(pseudo.size());
+  for (std::size_t j = 0; j < pseudo.size(); ++j) {
+    z[j].resize(pseudo[j].size());
+    for (std::size_t i = 0; i < pseudo[j].size(); ++i) {
+      z[j][i] = stats::NormalInverseCdf(pseudo[j][i]);
+    }
+  }
+  return z;
+}
+
+}  // namespace dpcopula::copula

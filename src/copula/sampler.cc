@@ -1,0 +1,92 @@
+#include "copula/sampler.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "stats/distributions.h"
+#include "stats/normal.h"
+
+namespace dpcopula::copula {
+
+namespace {
+
+Status ValidateSamplerInputs(
+    const data::Schema& schema,
+    const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
+    const linalg::Matrix& correlation) {
+  const std::size_t m = schema.num_attributes();
+  if (m == 0) return Status::InvalidArgument("empty schema");
+  if (marginal_cdfs.size() != m) {
+    return Status::InvalidArgument("need one marginal CDF per attribute");
+  }
+  if (correlation.rows() != m || correlation.cols() != m) {
+    return Status::InvalidArgument("correlation shape mismatch");
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    if (marginal_cdfs[j].domain_size() != schema.attribute(j).domain_size) {
+      return Status::InvalidArgument("CDF domain mismatch for attribute '" +
+                                     schema.attribute(j).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<data::Table> SampleSyntheticData(
+    const data::Schema& schema,
+    const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
+    const linalg::Matrix& correlation, std::size_t num_rows, Rng* rng) {
+  const std::size_t m = schema.num_attributes();
+  DPC_RETURN_NOT_OK(ValidateSamplerInputs(schema, marginal_cdfs, correlation));
+  DPC_ASSIGN_OR_RETURN(linalg::Matrix chol,
+                       linalg::CholeskyDecompose(correlation));
+
+  data::Table out = data::Table::Zeros(schema, num_rows);
+  std::vector<double> z(m), corr_z(m);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (std::size_t j = 0; j < m; ++j) z[j] = rng->NextGaussian();
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) acc += chol(i, k) * z[k];
+      corr_z[i] = acc;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const double t = stats::NormalCdf(corr_z[j]);
+      out.set(r, j, static_cast<double>(marginal_cdfs[j].InverseCdf(t)));
+    }
+  }
+  return out;
+}
+
+Result<data::Table> SampleSyntheticDataT(
+    const data::Schema& schema,
+    const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
+    const linalg::Matrix& correlation, double dof, std::size_t num_rows,
+    Rng* rng) {
+  const std::size_t m = schema.num_attributes();
+  DPC_RETURN_NOT_OK(ValidateSamplerInputs(schema, marginal_cdfs, correlation));
+  if (!(dof > 0.0)) {
+    return Status::InvalidArgument("t sampler: dof must be > 0");
+  }
+  DPC_ASSIGN_OR_RETURN(linalg::Matrix chol,
+                       linalg::CholeskyDecompose(correlation));
+
+  data::Table out = data::Table::Zeros(schema, num_rows);
+  std::vector<double> z(m);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (std::size_t j = 0; j < m; ++j) z[j] = rng->NextGaussian();
+    // One chi-squared mixing variable per record gives the joint t.
+    const double w = stats::SampleChiSquared(rng, dof);
+    const double scale = std::sqrt(dof / w);
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) acc += chol(i, k) * z[k];
+      const double t = stats::StudentTCdf(acc * scale, dof);
+      out.set(r, i, static_cast<double>(marginal_cdfs[i].InverseCdf(t)));
+    }
+  }
+  return out;
+}
+
+}  // namespace dpcopula::copula

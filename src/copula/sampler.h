@@ -1,0 +1,40 @@
+#ifndef DPCOPULA_COPULA_SAMPLER_H_
+#define DPCOPULA_COPULA_SAMPLER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+#include "linalg/matrix.h"
+#include "stats/empirical_cdf.h"
+
+namespace dpcopula::copula {
+
+/// Algorithm 3 — sampling DP synthetic data:
+///  1a. draw z ~ N(0, correlation) (Cholesky of the DP correlation matrix);
+///  1b. map to the unit cube via the standard normal CDF, t = Phi(z);
+///  2.  map through the inverse DP empirical marginal CDFs,
+///      x_j = F~_j^{-1}(t_j), landing in the original attribute domains.
+/// `schema` supplies names/domains of the output columns; `marginal_cdfs`
+/// must contain one CDF per attribute (built from the DP marginal
+/// histograms). This is pure post-processing of DP outputs, so it consumes
+/// no privacy budget.
+Result<data::Table> SampleSyntheticData(
+    const data::Schema& schema,
+    const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
+    const linalg::Matrix& correlation, std::size_t num_rows, Rng* rng);
+
+/// t-copula variant of Algorithm 3 (the paper's future-work extension):
+/// draws x ~ t_dof(0, correlation), maps through the univariate t CDF, then
+/// through the inverse DP marginal CDFs. Captures symmetric tail dependence
+/// the Gaussian copula cannot express.
+Result<data::Table> SampleSyntheticDataT(
+    const data::Schema& schema,
+    const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
+    const linalg::Matrix& correlation, double dof, std::size_t num_rows,
+    Rng* rng);
+
+}  // namespace dpcopula::copula
+
+#endif  // DPCOPULA_COPULA_SAMPLER_H_

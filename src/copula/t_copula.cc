@@ -1,0 +1,204 @@
+#include "copula/t_copula.h"
+
+#include <cmath>
+
+#include "copula/gaussian_copula.h"
+#include "dp/mechanisms.h"
+#include "linalg/cholesky.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::copula {
+
+namespace {
+const std::vector<double> kDefaultDofGrid = {2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}  // namespace
+
+Result<TCopula> TCopula::Create(const linalg::Matrix& correlation,
+                                double dof) {
+  if (!(dof > 0.0)) {
+    return Status::InvalidArgument("t copula: dof must be > 0");
+  }
+  if (correlation.rows() != correlation.cols() || correlation.rows() == 0) {
+    return Status::InvalidArgument("correlation matrix must be square");
+  }
+  for (std::size_t i = 0; i < correlation.rows(); ++i) {
+    if (std::fabs(correlation(i, i) - 1.0) > 1e-8) {
+      return Status::InvalidArgument(
+          "correlation matrix must have unit diagonal");
+    }
+  }
+  TCopula c;
+  c.correlation_ = correlation;
+  c.dof_ = dof;
+  DPC_ASSIGN_OR_RETURN(c.cholesky_, linalg::CholeskyDecompose(correlation));
+  DPC_ASSIGN_OR_RETURN(c.precision_, linalg::CholeskyInverse(c.cholesky_));
+  c.log_det_ = linalg::CholeskyLogDet(c.cholesky_);
+  return c;
+}
+
+Result<double> TCopula::LogDensity(const std::vector<double>& u) const {
+  const std::size_t m = dims();
+  if (u.size() != m) {
+    return Status::InvalidArgument("LogDensity: dimension mismatch");
+  }
+  std::vector<double> x(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (!(u[j] > 0.0 && u[j] < 1.0)) {
+      return Status::OutOfRange("pseudo-observation outside (0, 1)");
+    }
+    x[j] = stats::StudentTInverseCdf(u[j], dof_);
+  }
+  // Quadratic form x^T P^{-1} x.
+  double quad = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row += precision_(i, j) * x[j];
+    quad += x[i] * row;
+  }
+  const double md = static_cast<double>(m);
+  // log multivariate-t density constant terms minus the product of the
+  // univariate t densities.
+  double log_c = std::lgamma((dof_ + md) / 2.0) +
+                 (md - 1.0) * std::lgamma(dof_ / 2.0) -
+                 md * std::lgamma((dof_ + 1.0) / 2.0) - 0.5 * log_det_;
+  log_c -= (dof_ + md) / 2.0 * std::log1p(quad / dof_);
+  for (std::size_t j = 0; j < m; ++j) {
+    log_c += (dof_ + 1.0) / 2.0 * std::log1p(x[j] * x[j] / dof_);
+  }
+  return log_c;
+}
+
+Result<double> TCopula::LogLikelihood(
+    const std::vector<std::vector<double>>& pseudo) const {
+  if (pseudo.size() != dims()) {
+    return Status::InvalidArgument("LogLikelihood: dimension mismatch");
+  }
+  const std::size_t n = pseudo.empty() ? 0 : pseudo[0].size();
+  std::vector<double> u(dims());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dims(); ++j) u[j] = pseudo[j][i];
+    DPC_ASSIGN_OR_RETURN(double ld, LogDensity(u));
+    acc += ld;
+  }
+  return acc;
+}
+
+Result<double> TCopula::Aic(
+    const std::vector<std::vector<double>>& pseudo) const {
+  DPC_ASSIGN_OR_RETURN(double ll, LogLikelihood(pseudo));
+  const double m = static_cast<double>(dims());
+  const double num_params = m * (m - 1.0) / 2.0 + 1.0;  // + dof.
+  return 2.0 * num_params - 2.0 * ll;
+}
+
+std::vector<double> TCopula::SampleUniforms(Rng* rng) const {
+  const std::size_t m = dims();
+  std::vector<double> z(m), u(m);
+  for (double& v : z) v = rng->NextGaussian();
+  const double w = stats::SampleChiSquared(rng, dof_);
+  const double scale = std::sqrt(dof_ / w);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) acc += cholesky_(i, k) * z[k];
+    u[i] = stats::StudentTCdf(acc * scale, dof_);
+  }
+  return u;
+}
+
+Result<double> EstimateTCopulaDof(
+    const std::vector<std::vector<double>>& pseudo,
+    const linalg::Matrix& correlation, std::vector<double> grid) {
+  if (grid.empty()) grid = kDefaultDofGrid;
+  double best_dof = grid[0];
+  double best_ll = -1e300;
+  for (double dof : grid) {
+    DPC_ASSIGN_OR_RETURN(TCopula c, TCopula::Create(correlation, dof));
+    DPC_ASSIGN_OR_RETURN(double ll, c.LogLikelihood(pseudo));
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_dof = dof;
+    }
+  }
+  return best_dof;
+}
+
+namespace {
+
+// Splits column-major pseudo-observations into `parts` disjoint row blocks.
+std::vector<std::vector<std::vector<double>>> SplitPseudo(
+    const std::vector<std::vector<double>>& pseudo, std::size_t parts) {
+  const std::size_t m = pseudo.size();
+  const std::size_t n = pseudo.empty() ? 0 : pseudo[0].size();
+  const std::size_t block = n / parts;
+  std::vector<std::vector<std::vector<double>>> out;
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::vector<std::vector<double>> chunk(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      chunk[j].assign(
+          pseudo[j].begin() + static_cast<std::ptrdiff_t>(p * block),
+          pseudo[j].begin() + static_cast<std::ptrdiff_t>((p + 1) * block));
+    }
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<double> EstimateTCopulaDofPrivate(
+    const std::vector<std::vector<double>>& pseudo,
+    const linalg::Matrix& correlation, double epsilon, Rng* rng,
+    std::size_t num_partitions, std::vector<double> grid) {
+  if (grid.empty()) grid = kDefaultDofGrid;
+  if (pseudo.empty() || pseudo[0].size() < num_partitions * 4) {
+    return Status::InvalidArgument(
+        "t dof estimation: too few rows for the requested partitions");
+  }
+  std::vector<double> votes(grid.size(), 0.0);
+  for (const auto& chunk : SplitPseudo(pseudo, num_partitions)) {
+    DPC_ASSIGN_OR_RETURN(double dof,
+                         EstimateTCopulaDof(chunk, correlation, grid));
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      if (grid[g] == dof) {
+        votes[g] += 1.0;
+        break;
+      }
+    }
+  }
+  // One record lives in exactly one partition, so it moves one vote:
+  // vote-count score sensitivity 1.
+  DPC_ASSIGN_OR_RETURN(std::size_t pick,
+                       dp::ExponentialMechanism(rng, votes, epsilon, 1.0));
+  return grid[pick];
+}
+
+Result<bool> TCopulaFitsBetter(const std::vector<std::vector<double>>& pseudo,
+                               const linalg::Matrix& correlation) {
+  DPC_ASSIGN_OR_RETURN(double dof, EstimateTCopulaDof(pseudo, correlation));
+  DPC_ASSIGN_OR_RETURN(TCopula t, TCopula::Create(correlation, dof));
+  DPC_ASSIGN_OR_RETURN(GaussianCopula g, GaussianCopula::Create(correlation));
+  DPC_ASSIGN_OR_RETURN(double aic_t, t.Aic(pseudo));
+  DPC_ASSIGN_OR_RETURN(double aic_g, g.Aic(pseudo));
+  return aic_t < aic_g;
+}
+
+Result<bool> TCopulaFitsBetterPrivate(
+    const std::vector<std::vector<double>>& pseudo,
+    const linalg::Matrix& correlation, double epsilon, Rng* rng,
+    std::size_t num_partitions) {
+  if (pseudo.empty() || pseudo[0].size() < num_partitions * 4) {
+    return Status::InvalidArgument(
+        "family selection: too few rows for the requested partitions");
+  }
+  std::vector<double> votes(2, 0.0);  // [gaussian, t].
+  for (const auto& chunk : SplitPseudo(pseudo, num_partitions)) {
+    DPC_ASSIGN_OR_RETURN(bool t_wins, TCopulaFitsBetter(chunk, correlation));
+    votes[t_wins ? 1 : 0] += 1.0;
+  }
+  DPC_ASSIGN_OR_RETURN(std::size_t pick,
+                       dp::ExponentialMechanism(rng, votes, epsilon, 1.0));
+  return pick == 1;
+}
+
+}  // namespace dpcopula::copula

@@ -1,0 +1,85 @@
+#ifndef DPCOPULA_COPULA_T_COPULA_H_
+#define DPCOPULA_COPULA_T_COPULA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace dpcopula::copula {
+
+/// The Student-t copula — the paper's §3.2/§6 "future work" extension for
+/// data with tail dependence that the Gaussian copula cannot express.
+///
+/// For correlation matrix P and degrees of freedom nu, the density is
+///   c(u) = f_{P,nu}(x) / prod_j f_nu(x_j),   x_j = T_nu^{-1}(u_j),
+/// where f_{P,nu} is the multivariate and f_nu the univariate t density.
+/// As nu -> infinity it converges to the Gaussian copula; small nu adds
+/// symmetric tail dependence.
+class TCopula {
+ public:
+  /// Builds from a valid correlation matrix and dof > 0.
+  static Result<TCopula> Create(const linalg::Matrix& correlation,
+                                double dof);
+
+  const linalg::Matrix& correlation() const { return correlation_; }
+  double dof() const { return dof_; }
+  std::size_t dims() const { return correlation_.rows(); }
+
+  /// log c(u) for one pseudo-observation u in (0,1)^m.
+  Result<double> LogDensity(const std::vector<double>& u) const;
+
+  /// Sum of LogDensity over column-major pseudo-observations.
+  Result<double> LogLikelihood(
+      const std::vector<std::vector<double>>& pseudo) const;
+
+  /// AIC with C(m,2) + 1 parameters (correlations + dof).
+  Result<double> Aic(const std::vector<std::vector<double>>& pseudo) const;
+
+  /// Draws one m-vector of copula uniforms: z ~ N(0, P), w ~ chi2(nu),
+  /// u_j = T_nu(z_j / sqrt(w / nu)).
+  std::vector<double> SampleUniforms(Rng* rng) const;
+
+ private:
+  linalg::Matrix correlation_;
+  linalg::Matrix cholesky_;
+  linalg::Matrix precision_;
+  double log_det_ = 0.0;
+  double dof_ = 4.0;
+};
+
+/// Profile estimate of the t-copula dof: evaluates the t-copula
+/// log-likelihood (with `correlation` fixed, e.g. from Kendall's tau, which
+/// is valid for every elliptical copula) on a dof grid and returns the
+/// maximizer. `grid` defaults to {2,4,8,16,32,64}.
+Result<double> EstimateTCopulaDof(
+    const std::vector<std::vector<double>>& pseudo,
+    const linalg::Matrix& correlation, std::vector<double> grid = {});
+
+/// Differentially private dof estimation by sample-and-aggregate voting:
+/// split the pseudo-observations into `num_partitions` disjoint blocks,
+/// let each block vote for its profile-ML dof on the grid, and select the
+/// winner with the exponential mechanism (one record moves one vote, so the
+/// count score has sensitivity 1). Consumes `epsilon`.
+Result<double> EstimateTCopulaDofPrivate(
+    const std::vector<std::vector<double>>& pseudo,
+    const linalg::Matrix& correlation, double epsilon, Rng* rng,
+    std::size_t num_partitions = 10, std::vector<double> grid = {});
+
+/// Which elliptical copula family fits the data better by AIC — the
+/// goodness-of-fit test the paper leaves as future work. Returns true when
+/// the t copula (at its profile dof) improves on the Gaussian.
+Result<bool> TCopulaFitsBetter(const std::vector<std::vector<double>>& pseudo,
+                               const linalg::Matrix& correlation);
+
+/// DP variant of the family choice: per-partition AIC votes + exponential
+/// mechanism (vote-count score, sensitivity 1). Consumes `epsilon`.
+Result<bool> TCopulaFitsBetterPrivate(
+    const std::vector<std::vector<double>>& pseudo,
+    const linalg::Matrix& correlation, double epsilon, Rng* rng,
+    std::size_t num_partitions = 10);
+
+}  // namespace dpcopula::copula
+
+#endif  // DPCOPULA_COPULA_T_COPULA_H_

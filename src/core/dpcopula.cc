@@ -1,0 +1,216 @@
+#include "core/dpcopula.h"
+
+#include <cmath>
+
+#include "copula/empirical_copula.h"
+#include "copula/pseudo_obs.h"
+#include "copula/sampler.h"
+#include "copula/t_copula.h"
+#include "hist/histogram.h"
+#include "marginals/postprocess.h"
+#include "stats/empirical_cdf.h"
+
+namespace dpcopula::core {
+
+Result<BudgetSplit> ComputeBudgetSplit(const DpCopulaOptions& options) {
+  if (!(options.epsilon > 0.0) || !std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  if (!(options.budget_ratio_k > 0.0) ||
+      !std::isfinite(options.budget_ratio_k)) {
+    return Status::InvalidArgument("budget ratio k must be > 0");
+  }
+  const double k = options.budget_ratio_k;
+  BudgetSplit split;
+  split.epsilon1 = options.epsilon * k / (k + 1.0);
+  split.epsilon2 = options.epsilon - split.epsilon1;
+  return split;
+}
+
+Result<SynthesisResult> Synthesize(const data::Table& table,
+                                   const DpCopulaOptions& options, Rng* rng) {
+  const std::size_t m = table.num_columns();
+  if (m == 0) return Status::InvalidArgument("table has no columns");
+  DPC_RETURN_NOT_OK(table.Validate());
+
+  if (!(options.oversample_factor > 0.0)) {
+    return Status::InvalidArgument("oversample_factor must be > 0");
+  }
+  const std::size_t base_rows = options.num_synthetic_rows > 0
+                                    ? options.num_synthetic_rows
+                                    : table.num_rows();
+  const auto out_rows = static_cast<std::size_t>(
+      std::llround(static_cast<double>(base_rows) *
+                   options.oversample_factor));
+
+  SynthesisResult result;
+  result.budget = dp::BudgetAccountant(options.epsilon, "dpcopula");
+
+  // A single attribute has no dependence structure: the entire budget goes
+  // to its margin. Otherwise split per the ratio k.
+  double epsilon1 = options.epsilon;
+  double epsilon2 = 0.0;
+  // Tables too small for any correlation estimate also take the
+  // margins-only path with an identity copula.
+  const bool estimate_correlation = (m >= 2) && (table.num_rows() >= 2);
+  if (estimate_correlation) {
+    DPC_ASSIGN_OR_RETURN(BudgetSplit split, ComputeBudgetSplit(options));
+    epsilon1 = split.epsilon1;
+    epsilon2 = split.epsilon2;
+  }
+
+  // Step 1: DP marginal histograms, epsilon1 / m each (Theorem 3.1 over the
+  // m sequential releases on the same records).
+  const double eps_per_margin = epsilon1 / static_cast<double>(m);
+  std::vector<stats::EmpiricalCdf> cdfs;
+  cdfs.reserve(m);
+  result.noisy_marginals.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    DPC_RETURN_NOT_OK(result.budget.Charge(
+        eps_per_margin, "margin:" + table.schema().attribute(j).name));
+    DPC_ASSIGN_OR_RETURN(hist::Histogram h, hist::Histogram::FromColumn(table, j));
+    DPC_ASSIGN_OR_RETURN(
+        std::vector<double> noisy,
+        marginals::PublishMarginal(options.marginal_method, h.data(),
+                                   eps_per_margin, rng));
+    // Consistency post-processing (no privacy cost): project onto the
+    // simplex matching the noisy total, rather than clamping negatives —
+    // clamping alone would inject phantom mass proportional to the domain
+    // size, which dominates at small epsilon.
+    noisy = marginals::ProjectToNoisyTotal(noisy);
+    DPC_ASSIGN_OR_RETURN(stats::EmpiricalCdf cdf,
+                         stats::EmpiricalCdf::FromCounts(noisy));
+    cdfs.push_back(std::move(cdf));
+    result.noisy_marginals.push_back(std::move(noisy));
+  }
+
+  // Optional family-selection budget (future-work extension): carve a share
+  // of epsilon2 for the private dof / family votes before estimating the
+  // correlation matrix. Only meaningful when a vote will actually run.
+  constexpr std::size_t kFamilyVotePartitions = 10;
+  const bool family_vote_possible =
+      estimate_correlation &&
+      table.num_rows() >= kFamilyVotePartitions * 4;
+  const bool wants_family_vote =
+      options.family == CopulaFamily::kAutoAic ||
+      (options.family == CopulaFamily::kStudentT && options.t_dof <= 0.0);
+  double eps_family = 0.0;
+  if (family_vote_possible && wants_family_vote) {
+    if (!(options.family_epsilon_fraction > 0.0 &&
+          options.family_epsilon_fraction < 1.0)) {
+      return Status::InvalidArgument(
+          "family_epsilon_fraction must be in (0, 1)");
+    }
+    eps_family = epsilon2 * options.family_epsilon_fraction;
+    epsilon2 -= eps_family;
+  }
+
+  // kEmpirical replaces the parametric correlation estimation entirely:
+  // epsilon2 buys a DP checkerboard copula over the pseudo-observations,
+  // from which uniforms are sampled directly.
+  if (options.family == CopulaFamily::kEmpirical && estimate_correlation) {
+    DPC_RETURN_NOT_OK(result.budget.Charge(epsilon2, "copula:empirical"));
+    DPC_ASSIGN_OR_RETURN(auto pseudo, copula::PseudoObservations(table));
+    DPC_ASSIGN_OR_RETURN(
+        copula::EmpiricalCopula ecop,
+        copula::EmpiricalCopula::FitDp(pseudo, options.empirical_grid,
+                                       epsilon2, rng));
+    result.correlation = linalg::Matrix::Identity(m);
+    result.family_used = CopulaFamily::kEmpirical;
+    data::Table out = data::Table::Zeros(table.schema(), out_rows);
+    for (std::size_t r = 0; r < out_rows; ++r) {
+      const auto u = ecop.SampleUniforms(rng);
+      for (std::size_t j = 0; j < m; ++j) {
+        out.set(r, j, static_cast<double>(cdfs[j].InverseCdf(u[j])));
+      }
+    }
+    result.synthetic = std::move(out);
+    return result;
+  }
+
+  // Step 2: DP correlation matrix with epsilon2.
+  if (estimate_correlation) {
+    switch (options.estimator) {
+      case CorrelationEstimator::kKendall: {
+        DPC_RETURN_NOT_OK(
+            result.budget.Charge(epsilon2, "correlation:kendall"));
+        DPC_ASSIGN_OR_RETURN(
+            copula::KendallEstimate est,
+            copula::EstimateKendallCorrelation(table, epsilon2, rng,
+                                               options.kendall));
+        result.correlation = std::move(est.correlation);
+        result.kendall_rows_used = est.rows_used;
+        result.correlation_repaired = est.repaired;
+        break;
+      }
+      case CorrelationEstimator::kMle: {
+        DPC_RETURN_NOT_OK(result.budget.Charge(epsilon2, "correlation:mle"));
+        DPC_ASSIGN_OR_RETURN(
+            copula::MleEstimate est,
+            copula::EstimateMleCorrelation(table, epsilon2, rng, options.mle));
+        result.correlation = std::move(est.correlation);
+        result.mle_partitions = est.num_partitions;
+        result.correlation_repaired = est.repaired;
+        break;
+      }
+    }
+  } else {
+    result.correlation = linalg::Matrix::Identity(m);
+  }
+
+  // Resolve the copula family (extension beyond the paper's Gaussian
+  // default; falls back to Gaussian when the data cannot support a private
+  // vote).
+  result.family_used = CopulaFamily::kGaussian;
+  if (estimate_correlation && options.family != CopulaFamily::kGaussian) {
+    if (options.family == CopulaFamily::kStudentT && options.t_dof > 0.0) {
+      result.family_used = CopulaFamily::kStudentT;
+      result.t_dof_used = options.t_dof;
+    } else if (family_vote_possible) {
+      DPC_ASSIGN_OR_RETURN(auto pseudo, copula::PseudoObservations(table));
+      if (options.family == CopulaFamily::kStudentT) {
+        DPC_RETURN_NOT_OK(result.budget.Charge(eps_family, "family:t-dof"));
+        DPC_ASSIGN_OR_RETURN(
+            result.t_dof_used,
+            copula::EstimateTCopulaDofPrivate(pseudo, result.correlation,
+                                              eps_family, rng,
+                                              kFamilyVotePartitions));
+        result.family_used = CopulaFamily::kStudentT;
+      } else {  // kAutoAic.
+        DPC_RETURN_NOT_OK(
+            result.budget.Charge(eps_family / 2.0, "family:aic-vote"));
+        DPC_ASSIGN_OR_RETURN(
+            bool t_wins,
+            copula::TCopulaFitsBetterPrivate(pseudo, result.correlation,
+                                             eps_family / 2.0, rng,
+                                             kFamilyVotePartitions));
+        DPC_RETURN_NOT_OK(
+            result.budget.Charge(eps_family / 2.0, "family:t-dof"));
+        if (t_wins) {
+          DPC_ASSIGN_OR_RETURN(
+              result.t_dof_used,
+              copula::EstimateTCopulaDofPrivate(pseudo, result.correlation,
+                                                eps_family / 2.0, rng,
+                                                kFamilyVotePartitions));
+          result.family_used = CopulaFamily::kStudentT;
+        }
+      }
+    }
+  }
+
+  // Step 3: sample synthetic data (Algorithm 3) — pure post-processing.
+  if (result.family_used == CopulaFamily::kStudentT) {
+    DPC_ASSIGN_OR_RETURN(
+        result.synthetic,
+        copula::SampleSyntheticDataT(table.schema(), cdfs, result.correlation,
+                                     result.t_dof_used, out_rows, rng));
+  } else {
+    DPC_ASSIGN_OR_RETURN(
+        result.synthetic,
+        copula::SampleSyntheticData(table.schema(), cdfs, result.correlation,
+                                    out_rows, rng));
+  }
+  return result;
+}
+
+}  // namespace dpcopula::core

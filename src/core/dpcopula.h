@@ -1,0 +1,122 @@
+#ifndef DPCOPULA_CORE_DPCOPULA_H_
+#define DPCOPULA_CORE_DPCOPULA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "copula/kendall_estimator.h"
+#include "copula/mle_estimator.h"
+#include "data/table.h"
+#include "dp/budget.h"
+#include "linalg/matrix.h"
+#include "marginals/marginal_method.h"
+
+namespace dpcopula::core {
+
+/// Which DP correlation-matrix estimator drives the Gaussian copula.
+enum class CorrelationEstimator {
+  kKendall,  // Algorithm 4/5: noisy Kendall's tau (default; paper §5.2 shows
+             // it dominates MLE in accuracy).
+  kMle,      // Algorithms 1/2: sample-and-aggregate MLE.
+};
+
+/// Which elliptical copula family models the dependence. The paper's core
+/// method is the Gaussian copula; the t copula and the private AIC-based
+/// choice between the two implement its §6 future-work extension. Both
+/// non-Gaussian options work with either correlation estimator because
+/// Kendall's tau -> sin transform is family-agnostic for elliptical
+/// copulas.
+enum class CopulaFamily {
+  kGaussian,   // Paper default.
+  kStudentT,   // Fixed or privately estimated dof (see t_dof).
+  kAutoAic,    // Private per-partition AIC vote between Gaussian and t.
+  kEmpirical,  // Non-parametric checkerboard copula (low m only: the grid
+               // has empirical_grid^m cells). Replaces the correlation
+               // matrix entirely; epsilon2 buys the DP copula grid.
+};
+
+/// Options for one DPCopula synthesis run. Defaults follow the paper's
+/// Table 3.
+struct DpCopulaOptions {
+  /// Total privacy budget epsilon. Split as epsilon1 = epsilon * k / (k+1)
+  /// for the margins and epsilon2 = epsilon / (k+1) for the correlations.
+  double epsilon = 1.0;
+
+  /// The ratio k = epsilon1 / epsilon2 (Table 3 default 8; Fig. 5 shows the
+  /// method is insensitive to k >= 1).
+  double budget_ratio_k = 8.0;
+
+  CorrelationEstimator estimator = CorrelationEstimator::kKendall;
+
+  /// DP 1-d histogram publisher for the margins (paper uses EFPA).
+  marginals::MarginalMethod marginal_method =
+      marginals::MarginalMethod::kEfpa;
+
+  copula::KendallEstimatorOptions kendall;
+  copula::MleEstimatorOptions mle;
+
+  /// Copula family (paper default Gaussian; see CopulaFamily).
+  CopulaFamily family = CopulaFamily::kGaussian;
+
+  /// Degrees of freedom for kStudentT. 0 estimates the dof privately
+  /// (sample-and-aggregate vote), spending `family_epsilon_fraction` of
+  /// epsilon2.
+  double t_dof = 0.0;
+
+  /// Share of epsilon2 spent on private dof/family selection when the
+  /// family is kStudentT with t_dof == 0 or kAutoAic.
+  double family_epsilon_fraction = 0.2;
+
+  /// Cells per axis of the kEmpirical checkerboard grid.
+  std::int64_t empirical_grid = 8;
+
+  /// Number of synthetic rows to emit; 0 means "same as the input". (The
+  /// hybrid algorithm passes the noisy per-partition counts here.)
+  std::size_t num_synthetic_rows = 0;
+
+  /// Emits round(oversample_factor * rows) synthetic rows instead. Because
+  /// sampling is post-processing, oversampling is privacy-free and shrinks
+  /// the binomial sampling noise of range-count answers; consumers must
+  /// scale counts back by 1/oversample_factor (see
+  /// baselines::ScaledTableEstimator).
+  double oversample_factor = 1.0;
+};
+
+/// Everything a synthesis run releases, plus diagnostics.
+struct SynthesisResult {
+  data::Table synthetic;           // The DP synthetic dataset D~.
+  linalg::Matrix correlation;      // The DP correlation matrix P~.
+  std::vector<std::vector<double>> noisy_marginals;  // Per-attribute counts.
+  dp::BudgetAccountant budget{0.0};  // Charge log (total == options.epsilon).
+  // Estimator diagnostics (whichever was used is populated).
+  std::int64_t kendall_rows_used = 0;
+  std::int64_t mle_partitions = 0;
+  bool correlation_repaired = false;
+  // Copula family actually sampled from, and the dof if Student-t.
+  CopulaFamily family_used = CopulaFamily::kGaussian;
+  double t_dof_used = 0.0;
+};
+
+/// Runs DPCopula end to end (Algorithm 1 or 4 depending on the estimator):
+/// DP marginal histograms with epsilon1/m each, DP correlation matrix with
+/// epsilon2, then Algorithm 3 sampling. Consumes exactly `options.epsilon`.
+///
+/// Degenerate inputs are handled as the hybrid algorithm requires: a single
+/// column spends the full budget on its margin, and tables with fewer than
+/// two rows fall back to an identity correlation (their margins still go
+/// through the DP publisher, so the guarantee is unchanged).
+Result<SynthesisResult> Synthesize(const data::Table& table,
+                                   const DpCopulaOptions& options, Rng* rng);
+
+/// The (epsilon1, epsilon2) split implied by `options`.
+struct BudgetSplit {
+  double epsilon1;
+  double epsilon2;
+};
+Result<BudgetSplit> ComputeBudgetSplit(const DpCopulaOptions& options);
+
+}  // namespace dpcopula::core
+
+#endif  // DPCOPULA_CORE_DPCOPULA_H_

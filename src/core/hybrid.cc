@@ -1,0 +1,135 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace dpcopula::core {
+
+namespace {
+
+// Advances a mixed-radix counter over the small-attribute domains; returns
+// false when exhausted.
+bool AdvanceCombo(std::vector<std::int64_t>* combo,
+                  const std::vector<std::int64_t>& radix) {
+  for (std::size_t t = combo->size(); t-- > 0;) {
+    if (++(*combo)[t] < radix[t]) return true;
+    (*combo)[t] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<HybridResult> SynthesizeHybrid(const data::Table& table,
+                                      const HybridOptions& options, Rng* rng) {
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("hybrid: epsilon must be > 0");
+  }
+  if (!(options.partition_count_fraction > 0.0 &&
+        options.partition_count_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "hybrid: partition_count_fraction must be in (0, 1)");
+  }
+  const auto& schema = table.schema();
+
+  std::vector<std::size_t> small_cols, large_cols;
+  for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (schema.attribute(j).domain_size < options.small_domain_threshold) {
+      small_cols.push_back(j);
+    } else {
+      large_cols.push_back(j);
+    }
+  }
+
+  // No small-domain attributes: plain DPCopula with the full budget.
+  if (small_cols.empty()) {
+    DpCopulaOptions inner = options.inner;
+    inner.epsilon = options.epsilon;
+    inner.num_synthetic_rows = 0;
+    DPC_ASSIGN_OR_RETURN(SynthesisResult res, Synthesize(table, inner, rng));
+    HybridResult out;
+    out.synthetic = std::move(res.synthetic);
+    out.num_partitions = 1;
+    out.epsilon_copula = options.epsilon;
+    return out;
+  }
+
+  std::vector<std::int64_t> radix;
+  std::int64_t num_partitions = 1;
+  for (std::size_t c : small_cols) {
+    const std::int64_t d = schema.attribute(c).domain_size;
+    if (num_partitions > options.max_partitions / d) {
+      return Status::ResourceExhausted(
+          "hybrid: small-domain partition count exceeds max_partitions");
+    }
+    num_partitions *= d;
+    radix.push_back(d);
+  }
+
+  const double eps_counts = options.epsilon * options.partition_count_fraction;
+  const double eps_copula = options.epsilon - eps_counts;
+
+  HybridResult out;
+  out.num_partitions = num_partitions;
+  out.epsilon_counts = eps_counts;
+  out.epsilon_copula = eps_copula;
+  out.synthetic = data::Table(schema);
+
+  std::vector<std::int64_t> combo(small_cols.size(), 0);
+  do {
+    // Filter rows matching this small-attribute combination.
+    data::Table part = table;
+    for (std::size_t t = 0; t < small_cols.size(); ++t) {
+      part = part.Filter(small_cols[t], static_cast<double>(combo[t]));
+    }
+
+    // Step 2: noisy partition count (Lap(1/eps_counts); partitions are
+    // disjoint, so parallel composition charges eps_counts once overall).
+    const double noisy = static_cast<double>(part.num_rows()) +
+                         stats::SampleLaplace(rng, 1.0 / eps_counts);
+    const auto n_synth = static_cast<std::int64_t>(std::llround(noisy));
+    if (n_synth <= 0) {
+      ++out.num_skipped_partitions;
+      continue;
+    }
+
+    data::Table part_synth;
+    if (large_cols.empty()) {
+      // Degenerate: all attributes are small-domain — this is a noisy
+      // contingency table; emit n_synth copies of the combo.
+      part_synth =
+          data::Table::Zeros(schema, static_cast<std::size_t>(n_synth));
+      for (std::size_t t = 0; t < small_cols.size(); ++t) {
+        auto& col = part_synth.mutable_column(small_cols[t]);
+        std::fill(col.begin(), col.end(), static_cast<double>(combo[t]));
+      }
+    } else {
+      // Step 3: DPCopula on the large-domain projection of this partition.
+      DPC_ASSIGN_OR_RETURN(data::Table projected, part.Project(large_cols));
+      DpCopulaOptions inner = options.inner;
+      inner.epsilon = eps_copula;
+      inner.num_synthetic_rows = static_cast<std::size_t>(n_synth);
+      DPC_ASSIGN_OR_RETURN(SynthesisResult res,
+                           Synthesize(projected, inner, rng));
+
+      // Reassemble in original column order.
+      part_synth =
+          data::Table::Zeros(schema, static_cast<std::size_t>(n_synth));
+      for (std::size_t t = 0; t < small_cols.size(); ++t) {
+        auto& col = part_synth.mutable_column(small_cols[t]);
+        std::fill(col.begin(), col.end(), static_cast<double>(combo[t]));
+      }
+      for (std::size_t t = 0; t < large_cols.size(); ++t) {
+        part_synth.mutable_column(large_cols[t]) =
+            res.synthetic.column(t);
+      }
+    }
+    DPC_RETURN_NOT_OK(out.synthetic.Concat(part_synth));
+  } while (AdvanceCombo(&combo, radix));
+
+  return out;
+}
+
+}  // namespace dpcopula::core

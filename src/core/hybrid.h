@@ -1,0 +1,58 @@
+#ifndef DPCOPULA_CORE_HYBRID_H_
+#define DPCOPULA_CORE_HYBRID_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/dpcopula.h"
+#include "data/table.h"
+
+namespace dpcopula::core {
+
+/// Options for DPCopula-Hybrid (Algorithm 6), which handles datasets mixing
+/// small-domain attributes (domain < 10, e.g. gender) with large-domain
+/// ones: partition on the small-domain attributes, release noisy partition
+/// counts, run DPCopula inside each partition.
+struct HybridOptions {
+  /// Attributes with domain_size < this threshold are treated as
+  /// small-domain partitioning attributes (the paper uses 10).
+  std::int64_t small_domain_threshold = 10;
+
+  /// Fraction of the total budget spent on the noisy partition counts
+  /// (epsilon1 of Algorithm 6). The counts are over disjoint partitions, so
+  /// parallel composition applies.
+  double partition_count_fraction = 0.1;
+
+  /// Hard cap on the number of partitions (product of small domains);
+  /// exceeding it fails loudly instead of exploding.
+  std::int64_t max_partitions = 4096;
+
+  /// Options for the per-partition DPCopula runs. `epsilon` and
+  /// `num_synthetic_rows` inside are ignored — the hybrid supplies
+  /// (1 - partition_count_fraction) * epsilon and the noisy counts.
+  DpCopulaOptions inner;
+
+  /// Total privacy budget of the hybrid release.
+  double epsilon = 1.0;
+};
+
+/// Diagnostics of one hybrid run.
+struct HybridResult {
+  data::Table synthetic;
+  std::int64_t num_partitions = 0;
+  std::int64_t num_skipped_partitions = 0;  // Noisy count <= 0.
+  double epsilon_counts = 0.0;
+  double epsilon_copula = 0.0;
+};
+
+/// Runs Algorithm 6. If the table has no small-domain attributes this
+/// degrades to plain DPCopula on the whole table (with the full budget); if
+/// it has only small-domain attributes it degrades to a noisy contingency
+/// table release. Output columns follow the input schema order.
+Result<HybridResult> SynthesizeHybrid(const data::Table& table,
+                                      const HybridOptions& options, Rng* rng);
+
+}  // namespace dpcopula::core
+
+#endif  // DPCOPULA_CORE_HYBRID_H_

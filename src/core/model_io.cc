@@ -1,0 +1,168 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "copula/sampler.h"
+#include "linalg/psd_repair.h"
+#include "stats/empirical_cdf.h"
+
+namespace dpcopula::core {
+
+DpCopulaModel ModelFromSynthesis(const data::Schema& schema,
+                                 const SynthesisResult& result) {
+  DpCopulaModel model;
+  model.schema = schema;
+  model.marginal_counts = result.noisy_marginals;
+  model.correlation = result.correlation;
+  model.family = result.family_used;
+  model.t_dof = result.t_dof_used;
+  model.fitted_rows = result.synthetic.num_rows();
+  return model;
+}
+
+Result<data::Table> SampleFromModel(const DpCopulaModel& model,
+                                    std::size_t num_rows, Rng* rng) {
+  if (model.schema.num_attributes() == 0) {
+    return Status::InvalidArgument("model has no attributes");
+  }
+  if (model.marginal_counts.size() != model.schema.num_attributes()) {
+    return Status::InvalidArgument("model margins do not match schema");
+  }
+  std::vector<stats::EmpiricalCdf> cdfs;
+  for (const auto& counts : model.marginal_counts) {
+    DPC_ASSIGN_OR_RETURN(stats::EmpiricalCdf cdf,
+                         stats::EmpiricalCdf::FromCounts(counts));
+    cdfs.push_back(std::move(cdf));
+  }
+  const std::size_t rows = num_rows > 0 ? num_rows : model.fitted_rows;
+  if (model.family == CopulaFamily::kStudentT) {
+    return copula::SampleSyntheticDataT(model.schema, cdfs,
+                                        model.correlation, model.t_dof, rows,
+                                        rng);
+  }
+  return copula::SampleSyntheticData(model.schema, cdfs, model.correlation,
+                                     rows, rng);
+}
+
+Status SaveModel(const DpCopulaModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.precision(17);
+  out << "DPCOPULA-MODEL v1\n";
+  out << "attributes " << model.schema.num_attributes() << "\n";
+  for (const auto& attr : model.schema.attributes()) {
+    out << "attribute " << attr.name << " " << attr.domain_size << "\n";
+  }
+  out << "family "
+      << (model.family == CopulaFamily::kStudentT ? "student-t" : "gaussian")
+      << "\n";
+  out << "t_dof " << model.t_dof << "\n";
+  out << "fitted_rows " << model.fitted_rows << "\n";
+  for (std::size_t j = 0; j < model.marginal_counts.size(); ++j) {
+    out << "margin " << j << " " << model.marginal_counts[j].size() << "\n";
+    for (double v : model.marginal_counts[j]) out << v << "\n";
+  }
+  const std::size_t m = model.correlation.rows();
+  out << "correlation " << m << "\n";
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      out << model.correlation(i, j) << (j + 1 < m ? ' ' : '\n');
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+namespace {
+
+Status ParseError(const std::string& what) {
+  return Status::IOError("model parse error: " + what);
+}
+
+}  // namespace
+
+Result<DpCopulaModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "DPCOPULA-MODEL v1") {
+    return ParseError("bad header");
+  }
+  DpCopulaModel model;
+
+  std::string token;
+  std::size_t num_attrs = 0;
+  if (!(in >> token >> num_attrs) || token != "attributes") {
+    return ParseError("attributes");
+  }
+  std::vector<data::Attribute> attrs;
+  for (std::size_t i = 0; i < num_attrs; ++i) {
+    data::Attribute attr;
+    if (!(in >> token >> attr.name >> attr.domain_size) ||
+        token != "attribute" || attr.domain_size <= 0) {
+      return ParseError("attribute " + std::to_string(i));
+    }
+    attrs.push_back(std::move(attr));
+  }
+  model.schema = data::Schema(std::move(attrs));
+
+  std::string family;
+  if (!(in >> token >> family) || token != "family") {
+    return ParseError("family");
+  }
+  if (family == "student-t") {
+    model.family = CopulaFamily::kStudentT;
+  } else if (family == "gaussian") {
+    model.family = CopulaFamily::kGaussian;
+  } else {
+    return ParseError("unknown family '" + family + "'");
+  }
+  if (!(in >> token >> model.t_dof) || token != "t_dof") {
+    return ParseError("t_dof");
+  }
+  if (model.family == CopulaFamily::kStudentT && !(model.t_dof > 0.0)) {
+    return ParseError("student-t family requires positive dof");
+  }
+  if (!(in >> token >> model.fitted_rows) || token != "fitted_rows") {
+    return ParseError("fitted_rows");
+  }
+
+  model.marginal_counts.resize(num_attrs);
+  for (std::size_t j = 0; j < num_attrs; ++j) {
+    std::size_t index = 0, size = 0;
+    if (!(in >> token >> index >> size) || token != "margin" || index != j) {
+      return ParseError("margin header " + std::to_string(j));
+    }
+    if (size != static_cast<std::size_t>(
+                    model.schema.attribute(j).domain_size)) {
+      return ParseError("margin size mismatch for attribute " +
+                        std::to_string(j));
+    }
+    model.marginal_counts[j].resize(size);
+    for (std::size_t v = 0; v < size; ++v) {
+      if (!(in >> model.marginal_counts[j][v])) {
+        return ParseError("margin values " + std::to_string(j));
+      }
+    }
+  }
+
+  std::size_t m = 0;
+  if (!(in >> token >> m) || token != "correlation" || m != num_attrs) {
+    return ParseError("correlation header");
+  }
+  model.correlation = linalg::Matrix(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!(in >> model.correlation(i, j))) {
+        return ParseError("correlation values");
+      }
+    }
+  }
+  // Validate (and gently repair round-tripped) correlation matrices.
+  DPC_ASSIGN_OR_RETURN(model.correlation,
+                       linalg::EnsureCorrelationMatrix(model.correlation));
+  return model;
+}
+
+}  // namespace dpcopula::core

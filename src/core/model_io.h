@@ -1,0 +1,52 @@
+#ifndef DPCOPULA_CORE_MODEL_IO_H_
+#define DPCOPULA_CORE_MODEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/dpcopula.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "linalg/matrix.h"
+
+namespace dpcopula::core {
+
+/// A fitted DPCopula model: everything needed to sample synthetic data
+/// without touching the original records again. Because every field is
+/// itself a differentially private release, the model can be published,
+/// stored and re-sampled arbitrarily often at no additional privacy cost —
+/// often more useful to a consumer than a single synthetic table.
+struct DpCopulaModel {
+  data::Schema schema;
+  /// Post-processed noisy marginal counts, one vector per attribute.
+  std::vector<std::vector<double>> marginal_counts;
+  /// DP correlation matrix (valid: unit diagonal, positive definite).
+  linalg::Matrix correlation;
+  CopulaFamily family = CopulaFamily::kGaussian;
+  double t_dof = 0.0;  // Only meaningful for kStudentT.
+  /// Row count of the dataset the model was fitted on (itself released via
+  /// the synthesis), used as the default sample size.
+  std::size_t fitted_rows = 0;
+};
+
+/// Extracts the publishable model from a synthesis result.
+DpCopulaModel ModelFromSynthesis(const data::Schema& schema,
+                                 const SynthesisResult& result);
+
+/// Draws `num_rows` synthetic rows from a model (0 = model's fitted_rows).
+/// Pure post-processing.
+Result<data::Table> SampleFromModel(const DpCopulaModel& model,
+                                    std::size_t num_rows, Rng* rng);
+
+/// Serializes the model to a self-describing text file ("DPCOPULA-MODEL v1"
+/// header, one section per field). Returns IOError on filesystem failure.
+Status SaveModel(const DpCopulaModel& model, const std::string& path);
+
+/// Loads and validates a model written by SaveModel.
+Result<DpCopulaModel> LoadModel(const std::string& path);
+
+}  // namespace dpcopula::core
+
+#endif  // DPCOPULA_CORE_MODEL_IO_H_

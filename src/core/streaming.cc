@@ -1,0 +1,157 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <string>
+
+#include "linalg/psd_repair.h"
+
+namespace dpcopula::core {
+
+StreamingSynthesizer::StreamingSynthesizer(data::Schema schema,
+                                           Options options)
+    : schema_(std::move(schema)), options_(std::move(options)) {}
+
+Status StreamingSynthesizer::Validate() const {
+  if (schema_.num_attributes() == 0) {
+    return Status::InvalidArgument("streaming: empty schema");
+  }
+  if (!(options_.epsilon_per_batch > 0.0)) {
+    return Status::InvalidArgument("streaming: epsilon_per_batch must be > 0");
+  }
+  if (!(options_.decay > 0.0 && options_.decay <= 1.0)) {
+    return Status::InvalidArgument("streaming: decay must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+Status StreamingSynthesizer::Ingest(const data::Table& batch, Rng* rng) {
+  DPC_RETURN_NOT_OK(Validate());
+  if (!(batch.schema() == schema_)) {
+    return Status::InvalidArgument("streaming: batch schema mismatch");
+  }
+  if (batch.num_rows() == 0) {
+    return Status::InvalidArgument("streaming: empty batch");
+  }
+
+  // Fit a DP model on the (disjoint) batch with the full per-batch budget.
+  DpCopulaOptions fit = options_.fit;
+  fit.epsilon = options_.epsilon_per_batch;
+  fit.num_synthetic_rows = 0;
+  fit.oversample_factor = 1.0;
+  Result<SynthesisResult> result = core::Synthesize(batch, fit, rng);
+  DPC_RETURN_NOT_OK(result.status());
+
+  // Batch weight: the noisy marginal mass is itself a DP estimate of the
+  // batch size (post-processing of already-released counts).
+  double batch_weight = 0.0;
+  for (double v : result->noisy_marginals[0]) {
+    batch_weight += std::max(0.0, v);
+  }
+  batch_weight = std::max(1.0, batch_weight);
+
+  const std::size_t m = schema_.num_attributes();
+  if (num_batches_ == 0) {
+    merged_margins_.assign(m, {});
+    for (std::size_t j = 0; j < m; ++j) {
+      merged_margins_[j].assign(
+          static_cast<std::size_t>(schema_.attribute(j).domain_size), 0.0);
+    }
+    merged_correlation_ = linalg::Matrix(m, m);
+  }
+
+  // Age out history, then merge.
+  const double old_weight = weight_ * options_.decay;
+  for (auto& margin : merged_margins_) {
+    for (double& v : margin) v *= options_.decay;
+  }
+  // Margins are additive over disjoint batches.
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto& batch_margin = result->noisy_marginals[j];
+    for (std::size_t v = 0; v < batch_margin.size(); ++v) {
+      merged_margins_[j][v] += std::max(0.0, batch_margin[v]);
+    }
+  }
+  // Correlations: weighted mean of per-batch DP estimates.
+  const double total_weight = old_weight + batch_weight;
+  merged_correlation_ = merged_correlation_.Scaled(old_weight / total_weight) +
+                        result->correlation.Scaled(batch_weight /
+                                                   total_weight);
+  weight_ = total_weight;
+  ++num_batches_;
+  return Status::OK();
+}
+
+Result<DpCopulaModel> StreamingSynthesizer::CurrentModel() const {
+  if (num_batches_ == 0) {
+    return Status::FailedPrecondition("streaming: no batches ingested");
+  }
+  DpCopulaModel model;
+  model.schema = schema_;
+  model.marginal_counts = merged_margins_;
+  // The weighted mean of valid correlation matrices can drift off the
+  // PD manifold after decay; repair to a valid correlation matrix.
+  DPC_ASSIGN_OR_RETURN(model.correlation,
+                       linalg::EnsureCorrelationMatrix(merged_correlation_));
+  model.family = CopulaFamily::kGaussian;
+  model.fitted_rows =
+      static_cast<std::size_t>(std::llround(std::max(1.0, weight_)));
+  return model;
+}
+
+Result<data::Table> StreamingSynthesizer::Synthesize(std::size_t num_rows,
+                                                     Rng* rng) const {
+  DPC_ASSIGN_OR_RETURN(DpCopulaModel model, CurrentModel());
+  return SampleFromModel(model, num_rows, rng);
+}
+
+Status StreamingSynthesizer::SaveState(const std::string& path) const {
+  if (num_batches_ == 0) {
+    return Status::FailedPrecondition("streaming: nothing to save");
+  }
+  // Reuse the model format; the pre-repair merged correlation is stored via
+  // the repaired model (re-merging after restore keeps averaging with the
+  // repaired matrix, an acceptable projection).
+  Result<DpCopulaModel> model = CurrentModel();
+  DPC_RETURN_NOT_OK(model.status());
+  DPC_RETURN_NOT_OK(SaveModel(*model, path));
+  // Append the streaming counters.
+  std::ofstream out(path, std::ios::app);
+  if (!out) return Status::IOError("cannot append streaming state: " + path);
+  out.precision(17);
+  out << "streaming_weight " << weight_ << "\n";
+  out << "streaming_batches " << num_batches_ << "\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<StreamingSynthesizer> StreamingSynthesizer::RestoreState(
+    const std::string& path, Options options) {
+  DPC_ASSIGN_OR_RETURN(DpCopulaModel model, LoadModel(path));
+  StreamingSynthesizer s(model.schema, std::move(options));
+  DPC_RETURN_NOT_OK(s.Validate());
+  // Parse the appended counters.
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::string token;
+  double weight = -1.0;
+  std::size_t batches = 0;
+  while (in >> token) {
+    if (token == "streaming_weight") {
+      if (!(in >> weight)) break;
+    } else if (token == "streaming_batches") {
+      if (!(in >> batches)) break;
+    }
+  }
+  if (weight < 0.0 || batches == 0) {
+    return Status::IOError("missing streaming counters in " + path);
+  }
+  s.weight_ = weight;
+  s.num_batches_ = batches;
+  s.merged_margins_ = std::move(model.marginal_counts);
+  s.merged_correlation_ = std::move(model.correlation);
+  return s;
+}
+
+}  // namespace dpcopula::core

@@ -1,0 +1,184 @@
+#include "data/census.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "data/generator.h"
+#include "linalg/psd_repair.h"
+
+namespace dpcopula::data {
+
+namespace {
+
+// Piecewise population-pyramid weights for an age attribute on [0, domain):
+// near-flat through working ages with a declining tail, resembling census
+// age pyramids.
+std::vector<double> AgePyramidWeights(std::int64_t domain) {
+  std::vector<double> w(static_cast<std::size_t>(domain));
+  for (std::int64_t v = 0; v < domain; ++v) {
+    const double age = static_cast<double>(v);
+    double weight;
+    if (age < 20.0) {
+      weight = 1.0 + 0.01 * age;  // Slight rise through childhood.
+    } else if (age < 55.0) {
+      weight = 1.2;  // Plateau through working ages.
+    } else {
+      // Exponential decline after 55.
+      weight = 1.2 * std::exp(-(age - 55.0) / 14.0);
+    }
+    w[static_cast<std::size_t>(v)] = weight;
+  }
+  return w;
+}
+
+// Discretized log-normal weights over [0, domain): density of
+// LogNormal(mu, sigma) evaluated at bin midpoints scaled into the domain,
+// with "heaping" at round values — census respondents report incomes
+// rounded to multiples of 50 and 100, producing the spiky margins real
+// extracts show (smooth margins would unrealistically flatter methods that
+// assume within-bucket uniformity).
+std::vector<double> LogNormalWeights(std::int64_t domain, double mu,
+                                     double sigma) {
+  std::vector<double> w(static_cast<std::size_t>(domain));
+  for (std::int64_t v = 0; v < domain; ++v) {
+    const double x = (static_cast<double>(v) + 0.5);
+    const double lx = std::log(x);
+    const double z = (lx - mu) / sigma;
+    double weight = std::exp(-0.5 * z * z) / x;
+    if (v > 0 && v % 100 == 0) {
+      weight *= 3.0;
+    } else if (v > 0 && v % 50 == 0) {
+      weight *= 2.0;
+    } else if (v > 0 && v % 10 == 0) {
+      weight *= 1.4;
+    }
+    w[static_cast<std::size_t>(v)] = weight;
+  }
+  return w;
+}
+
+// Deterministically permutes weights so that frequency is not monotone in
+// the code value — occupation/education codes are arbitrary labels, so the
+// real histograms over code order are jagged.
+std::vector<double> PermuteWeights(const std::vector<double>& w) {
+  const std::size_t n = w.size();
+  // Deterministic permutation via Fibonacci-hash sort ranks (bijective).
+  std::vector<std::pair<std::uint64_t, std::size_t>> keyed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keyed[i] = {i * 0x9e3779b97f4a7c15ULL, i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[keyed[i].second] = w[i];
+  }
+  return out;
+}
+
+// Normal bump centered at `center` with spread `sd`, plus a small floor so
+// every value has support.
+std::vector<double> BumpWeights(std::int64_t domain, double center, double sd,
+                                double floor) {
+  std::vector<double> w(static_cast<std::size_t>(domain));
+  for (std::int64_t v = 0; v < domain; ++v) {
+    const double z = (static_cast<double>(v) - center) / sd;
+    w[static_cast<std::size_t>(v)] = std::exp(-0.5 * z * z) + floor;
+  }
+  return w;
+}
+
+}  // namespace
+
+Schema UsCensusSchema() {
+  return Schema({{"age", 96}, {"income", 1020}, {"occupation", 511},
+                 {"gender", 2}});
+}
+
+Schema BrazilCensusSchema() {
+  return Schema({{"age", 95},
+                 {"gender", 2},
+                 {"disability", 2},
+                 {"nativity", 2},
+                 {"num_years", 31},
+                 {"education", 140},
+                 {"working_hours", 95},
+                 {"annual_income", 586}});
+}
+
+Result<Table> GenerateUsCensus(std::size_t num_rows, Rng* rng) {
+  std::vector<MarginSpec> specs;
+  specs.push_back(MarginSpec::Piecewise("age", AgePyramidWeights(96)));
+  specs.push_back(
+      MarginSpec::Piecewise("income", LogNormalWeights(1020, 5.3, 0.9)));
+  // Zipf exponent 0.8 (largest occupation holds ~5% of workers, matching
+  // real census occupation tables), permuted because occupation codes are
+  // arbitrary labels — frequency is jagged in code order.
+  {
+    MarginSpec zipf = MarginSpec::Zipf("occupation", 511, 0.8);
+    std::vector<double> probs = *MarginProbabilities(zipf);
+    specs.push_back(
+        MarginSpec::Piecewise("occupation", PermuteWeights(probs)));
+  }
+  specs.push_back(MarginSpec::Bernoulli("gender", 0.51));
+
+  // Latent Gaussian dependence: income correlates with age and occupation;
+  // gender weakly with occupation/income (realistic wage-gap style skew).
+  linalg::Matrix corr = linalg::Matrix::FromRows({
+      {1.00, 0.35, 0.12, 0.02},
+      {0.35, 1.00, 0.30, -0.10},
+      {0.12, 0.30, 1.00, 0.08},
+      {0.02, -0.10, 0.08, 1.00},
+  });
+  DPC_ASSIGN_OR_RETURN(corr, linalg::EnsureCorrelationMatrix(corr));
+  return GenerateGaussianDependent(specs, corr, num_rows, rng);
+}
+
+Result<Table> GenerateBrazilCensus(std::size_t num_rows, Rng* rng) {
+  std::vector<MarginSpec> specs;
+  specs.push_back(MarginSpec::Piecewise("age", AgePyramidWeights(95)));
+  specs.push_back(MarginSpec::Bernoulli("gender", 0.51));
+  specs.push_back(MarginSpec::Bernoulli("disability", 0.06));
+  specs.push_back(MarginSpec::Bernoulli("nativity", 0.12));
+  {
+    MarginSpec years = MarginSpec::Gaussian("num_years", 31);
+    years.family = MarginFamily::kExponential;
+    years.rate = 0.12;
+    specs.push_back(years);
+  }
+  {
+    // Education: bimodal (primary completion + higher education).
+    std::vector<double> edu(140);
+    for (std::size_t v = 0; v < edu.size(); ++v) {
+      const double x = static_cast<double>(v);
+      const double z1 = (x - 35.0) / 18.0;
+      const double z2 = (x - 95.0) / 14.0;
+      edu[v] = std::exp(-0.5 * z1 * z1) + 0.45 * std::exp(-0.5 * z2 * z2) +
+               0.02;
+    }
+    specs.push_back(MarginSpec::Piecewise("education", std::move(edu)));
+  }
+  specs.push_back(MarginSpec::Piecewise(
+      "working_hours", BumpWeights(95, 42.0, 11.0, 0.03)));
+  specs.push_back(MarginSpec::Piecewise(
+      "annual_income", LogNormalWeights(586, 4.8, 1.0)));
+
+  // Dependence: income ~ education ~ age, hours ~ gender, disability lowers
+  // hours/income; kept moderate and repaired to the nearest correlation
+  // matrix.
+  linalg::Matrix corr = linalg::Matrix::FromRows({
+      // age  gen   dis   nat   yrs   edu   hrs   inc
+      {1.00, 0.02, 0.18, 0.05, 0.30, -0.05, -0.05, 0.25},   // age
+      {0.02, 1.00, 0.00, 0.00, 0.00, 0.03, -0.15, -0.12},   // gender
+      {0.18, 0.00, 1.00, 0.02, 0.05, -0.10, -0.20, -0.15},  // disability
+      {0.05, 0.00, 0.02, 1.00, -0.25, 0.05, 0.02, 0.05},    // nativity
+      {0.30, 0.00, 0.05, -0.25, 1.00, -0.05, 0.00, 0.08},   // num_years
+      {-0.05, 0.03, -0.10, 0.05, -0.05, 1.00, 0.10, 0.40},  // education
+      {-0.05, -0.15, -0.20, 0.02, 0.00, 0.10, 1.00, 0.30},  // hours
+      {0.25, -0.12, -0.15, 0.05, 0.08, 0.40, 0.30, 1.00},   // income
+  });
+  DPC_ASSIGN_OR_RETURN(corr, linalg::EnsureCorrelationMatrix(corr));
+  return GenerateGaussianDependent(specs, corr, num_rows, rng);
+}
+
+}  // namespace dpcopula::data

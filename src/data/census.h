@@ -1,0 +1,35 @@
+#ifndef DPCOPULA_DATA_CENSUS_H_
+#define DPCOPULA_DATA_CENSUS_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace dpcopula::data {
+
+/// Simulators for the paper's two real datasets (§5.1, Table 2). The IPUMS
+/// extracts are registration-gated, so we reproduce their *schemas* exactly
+/// (attribute count and domain sizes) with realistic skewed margins coupled
+/// through a Gaussian copula — which is precisely the information the
+/// evaluation consumes. See DESIGN.md §3 (substitutions).
+
+/// US Census simulator — 4 attributes:
+///   age (96), income (1020), occupation (511), gender (2).
+/// Margins: age = population-pyramid piecewise shape; income = discretized
+/// log-normal; occupation = zipf(1.05); gender = Bernoulli(0.51).
+/// Dependence: Gaussian copula with moderate age/income/occupation structure.
+Result<Table> GenerateUsCensus(std::size_t num_rows, Rng* rng);
+
+/// Brazil Census simulator — 8 attributes:
+///   age (95), gender (2), disability (2), nativity (2),
+///   num_years (31), education (140), working_hours (95),
+///   annual_income (586).
+Result<Table> GenerateBrazilCensus(std::size_t num_rows, Rng* rng);
+
+/// The paper's Table 2 schemas (no data), for reporting and schema checks.
+Schema UsCensusSchema();
+Schema BrazilCensusSchema();
+
+}  // namespace dpcopula::data
+
+#endif  // DPCOPULA_DATA_CENSUS_H_

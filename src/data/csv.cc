@@ -1,0 +1,112 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dpcopula::data {
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const auto& schema = table.schema();
+  for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (j) out << ',';
+    out << schema.attribute(j).name;
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t j = 0; j < table.num_columns(); ++j) {
+      if (j) out << ',';
+      out << static_cast<long long>(std::llround(table.at(r, j)));
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+namespace {
+
+Result<Table> ReadCsvImpl(const std::string& path, const Schema* schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty file: " + path);
+
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) names.push_back(cell);
+  }
+  if (names.empty()) return Status::IOError("no header columns: " + path);
+
+  std::vector<std::vector<double>> cols(names.size());
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::size_t j = 0;
+    while (std::getline(ss, cell, ',')) {
+      if (j >= cols.size()) {
+        return Status::IOError("too many cells at line " +
+                               std::to_string(line_no));
+      }
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::IOError("non-numeric cell at line " +
+                               std::to_string(line_no));
+      }
+      cols[j++].push_back(v);
+    }
+    if (j != cols.size()) {
+      return Status::IOError("too few cells at line " +
+                             std::to_string(line_no));
+    }
+  }
+
+  Schema result_schema;
+  if (schema != nullptr) {
+    if (schema->num_attributes() != names.size()) {
+      return Status::InvalidArgument("schema arity does not match CSV header");
+    }
+    result_schema = *schema;
+  } else {
+    std::vector<Attribute> attrs;
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      double mx = 0.0;
+      for (double v : cols[j]) mx = std::max(mx, v);
+      attrs.push_back({names[j], static_cast<std::int64_t>(mx) + 1});
+    }
+    result_schema = Schema(std::move(attrs));
+  }
+
+  const std::size_t n = cols[0].size();
+  Table table = Table::Zeros(result_schema, n);
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (cols[j].size() != n) {
+      return Status::Internal("ragged column lengths");
+    }
+    table.mutable_column(j) = std::move(cols[j]);
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path) {
+  return ReadCsvImpl(path, nullptr);
+}
+
+Result<Table> ReadCsvWithSchema(const std::string& path,
+                                const Schema& schema) {
+  return ReadCsvImpl(path, &schema);
+}
+
+}  // namespace dpcopula::data

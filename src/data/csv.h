@@ -1,0 +1,23 @@
+#ifndef DPCOPULA_DATA_CSV_H_
+#define DPCOPULA_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace dpcopula::data {
+
+/// Writes `table` to `path` as CSV with a header row of attribute names.
+/// Values are written as integers.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV written by WriteCsv (numeric cells, header row). Domain sizes
+/// in the schema are inferred as max(value)+1 per column unless a schema is
+/// supplied.
+Result<Table> ReadCsv(const std::string& path);
+Result<Table> ReadCsvWithSchema(const std::string& path, const Schema& schema);
+
+}  // namespace dpcopula::data
+
+#endif  // DPCOPULA_DATA_CSV_H_

@@ -1,0 +1,213 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "stats/normal.h"
+
+namespace dpcopula::data {
+
+MarginSpec MarginSpec::Uniform(std::string name, std::int64_t domain) {
+  MarginSpec s;
+  s.name = std::move(name);
+  s.family = MarginFamily::kUniform;
+  s.domain_size = domain;
+  return s;
+}
+
+MarginSpec MarginSpec::Gaussian(std::string name, std::int64_t domain) {
+  MarginSpec s;
+  s.name = std::move(name);
+  s.family = MarginFamily::kGaussian;
+  s.domain_size = domain;
+  return s;
+}
+
+MarginSpec MarginSpec::Zipf(std::string name, std::int64_t domain,
+                            double exponent) {
+  MarginSpec s;
+  s.name = std::move(name);
+  s.family = MarginFamily::kZipf;
+  s.domain_size = domain;
+  s.exponent = exponent;
+  return s;
+}
+
+MarginSpec MarginSpec::Bernoulli(std::string name, double p_one) {
+  MarginSpec s;
+  s.name = std::move(name);
+  s.family = MarginFamily::kBernoulli;
+  s.domain_size = 2;
+  s.p_one = p_one;
+  return s;
+}
+
+MarginSpec MarginSpec::Piecewise(std::string name,
+                                 std::vector<double> weights) {
+  MarginSpec s;
+  s.name = std::move(name);
+  s.family = MarginFamily::kPiecewise;
+  s.domain_size = static_cast<std::int64_t>(weights.size());
+  s.weights = std::move(weights);
+  return s;
+}
+
+Result<std::vector<double>> MarginProbabilities(const MarginSpec& spec) {
+  if (spec.domain_size <= 0) {
+    return Status::InvalidArgument("margin '" + spec.name +
+                                   "': domain_size must be > 0");
+  }
+  const auto a = static_cast<std::size_t>(spec.domain_size);
+  std::vector<double> p(a, 0.0);
+  switch (spec.family) {
+    case MarginFamily::kUniform:
+      std::fill(p.begin(), p.end(), 1.0);
+      break;
+    case MarginFamily::kGaussian: {
+      const double mean =
+          (spec.mean != 0.0) ? spec.mean : static_cast<double>(a) / 2.0;
+      const double sd =
+          (spec.stddev != 0.0) ? spec.stddev : static_cast<double>(a) / 6.0;
+      for (std::size_t v = 0; v < a; ++v) {
+        const double z = (static_cast<double>(v) - mean) / sd;
+        p[v] = std::exp(-0.5 * z * z);
+      }
+      break;
+    }
+    case MarginFamily::kZipf:
+      for (std::size_t v = 0; v < a; ++v) {
+        p[v] = std::pow(static_cast<double>(v + 1), -spec.exponent);
+      }
+      break;
+    case MarginFamily::kExponential: {
+      const double rate =
+          (spec.rate != 0.0) ? spec.rate : 5.0 / static_cast<double>(a);
+      for (std::size_t v = 0; v < a; ++v) {
+        p[v] = std::exp(-rate * static_cast<double>(v));
+      }
+      break;
+    }
+    case MarginFamily::kGamma: {
+      const double scale =
+          (spec.scale != 0.0) ? spec.scale : static_cast<double>(a) / 8.0;
+      for (std::size_t v = 0; v < a; ++v) {
+        const double x = (static_cast<double>(v) + 0.5) / scale;
+        p[v] = std::pow(x, spec.shape - 1.0) * std::exp(-x);
+      }
+      break;
+    }
+    case MarginFamily::kBernoulli:
+      if (a != 2) {
+        return Status::InvalidArgument("Bernoulli margin needs domain 2");
+      }
+      if (!(spec.p_one >= 0.0 && spec.p_one <= 1.0)) {
+        return Status::InvalidArgument("Bernoulli p_one outside [0, 1]");
+      }
+      p[0] = 1.0 - spec.p_one;
+      p[1] = spec.p_one;
+      break;
+    case MarginFamily::kPiecewise:
+      if (spec.weights.size() != a) {
+        return Status::InvalidArgument(
+            "piecewise weights size != domain_size");
+      }
+      p = spec.weights;
+      for (double w : p) {
+        if (w < 0.0) {
+          return Status::InvalidArgument("piecewise weight < 0");
+        }
+      }
+      break;
+  }
+  double total = 0.0;
+  for (double v : p) total += v;
+  if (total <= 0.0) {
+    return Status::NumericalError("margin '" + spec.name +
+                                  "' has zero total mass");
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+namespace {
+
+// Inverse discrete CDF: smallest index with cumulative >= u.
+std::size_t InverseDiscreteCdf(const std::vector<double>& cumulative,
+                               double u) {
+  const auto it =
+      std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  if (it == cumulative.end()) return cumulative.size() - 1;
+  return static_cast<std::size_t>(it - cumulative.begin());
+}
+
+}  // namespace
+
+Result<Table> GenerateGaussianDependent(const std::vector<MarginSpec>& specs,
+                                        const linalg::Matrix& correlation,
+                                        std::size_t num_rows, Rng* rng) {
+  const std::size_t m = specs.size();
+  if (m == 0) return Status::InvalidArgument("no margins given");
+  if (correlation.rows() != m || correlation.cols() != m) {
+    return Status::InvalidArgument("correlation matrix shape mismatch");
+  }
+  DPC_ASSIGN_OR_RETURN(linalg::Matrix chol,
+                       linalg::CholeskyDecompose(correlation));
+
+  // Resolve margins into cumulative distributions.
+  std::vector<std::vector<double>> cdfs(m);
+  std::vector<Attribute> attrs(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    DPC_ASSIGN_OR_RETURN(std::vector<double> probs,
+                         MarginProbabilities(specs[j]));
+    cdfs[j].resize(probs.size());
+    double acc = 0.0;
+    for (std::size_t v = 0; v < probs.size(); ++v) {
+      acc += probs[v];
+      cdfs[j][v] = acc;
+    }
+    cdfs[j].back() = 1.0;
+    attrs[j] = {specs[j].name, specs[j].domain_size};
+  }
+
+  Table table = Table::Zeros(Schema(std::move(attrs)), num_rows);
+  std::vector<double> z(m), corr_z(m);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (std::size_t j = 0; j < m; ++j) z[j] = rng->NextGaussian();
+    // corr_z = L z has correlation `correlation`.
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) acc += chol(i, k) * z[k];
+      corr_z[i] = acc;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const double u = stats::NormalCdf(corr_z[j]);
+      table.set(r, j, static_cast<double>(InverseDiscreteCdf(cdfs[j], u)));
+    }
+  }
+  return table;
+}
+
+linalg::Matrix Ar1Correlation(std::size_t m, double base) {
+  linalg::Matrix p(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      p(i, j) = std::pow(base, std::fabs(static_cast<double>(i) -
+                                         static_cast<double>(j)));
+    }
+  }
+  return p;
+}
+
+Result<linalg::Matrix> Equicorrelation(std::size_t m, double rho) {
+  if (m >= 2 && !(rho > -1.0 / static_cast<double>(m - 1) && rho < 1.0)) {
+    return Status::InvalidArgument("equicorrelation rho out of PD range");
+  }
+  linalg::Matrix p(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) p(i, j) = (i == j) ? 1.0 : rho;
+  }
+  return p;
+}
+
+}  // namespace dpcopula::data

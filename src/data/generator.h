@@ -1,0 +1,74 @@
+#ifndef DPCOPULA_DATA_GENERATOR_H_
+#define DPCOPULA_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+#include "linalg/matrix.h"
+
+namespace dpcopula::data {
+
+/// Shape of one synthetic margin over the discrete domain [0, domain_size).
+/// The generator turns each spec into an explicit per-value probability
+/// vector, so generated margins are exact (no discretization drift).
+enum class MarginFamily {
+  kUniform,
+  kGaussian,     // pdf ~ phi((v - mean)/stddev)
+  kZipf,         // pdf ~ (v+1)^{-exponent}
+  kExponential,  // pdf ~ exp(-rate * v)
+  kGamma,        // pdf ~ Gamma(shape, scale) density at v + 0.5
+  kBernoulli,    // domain_size must be 2; P(1) = p_one
+  kPiecewise,    // explicit relative weights (size == domain_size)
+};
+
+struct MarginSpec {
+  std::string name;
+  MarginFamily family = MarginFamily::kGaussian;
+  std::int64_t domain_size = 1000;
+  // Family parameters (only those relevant to the family are read).
+  double mean = 0.0;        // kGaussian; default: domain_size / 2
+  double stddev = 0.0;      // kGaussian; default: domain_size / 6
+  double exponent = 1.0;    // kZipf
+  double rate = 0.0;        // kExponential; default: 5 / domain_size
+  double shape = 2.0;       // kGamma
+  double scale = 0.0;       // kGamma; default: domain_size / 8
+  double p_one = 0.5;       // kBernoulli
+  std::vector<double> weights;  // kPiecewise
+
+  /// Convenience factories with the defaults the experiments use.
+  static MarginSpec Uniform(std::string name, std::int64_t domain);
+  static MarginSpec Gaussian(std::string name, std::int64_t domain);
+  static MarginSpec Zipf(std::string name, std::int64_t domain,
+                         double exponent = 1.0);
+  static MarginSpec Bernoulli(std::string name, double p_one);
+  static MarginSpec Piecewise(std::string name, std::vector<double> weights);
+};
+
+/// Resolves a spec into a normalized probability vector over its domain.
+Result<std::vector<double>> MarginProbabilities(const MarginSpec& spec);
+
+/// Synthetic multi-dimensional data with *Gaussian dependence* (the structure
+/// the paper's Gaussian copula models): draws z ~ N(0, correlation),
+/// transforms each coordinate through Phi, then through the inverse CDF of
+/// its margin (the NORTA construction). `correlation` must be a valid m x m
+/// correlation matrix for m = specs.size().
+Result<Table> GenerateGaussianDependent(const std::vector<MarginSpec>& specs,
+                                        const linalg::Matrix& correlation,
+                                        std::size_t num_rows, Rng* rng);
+
+/// AR(1)-style correlation matrix P_ij = base^{|i-j|}; positive definite for
+/// |base| < 1. This is the default dependence used by the synthetic-data
+/// experiments.
+linalg::Matrix Ar1Correlation(std::size_t m, double base);
+
+/// Equicorrelation matrix with off-diagonal rho (PD for rho in
+/// (-1/(m-1), 1)).
+Result<linalg::Matrix> Equicorrelation(std::size_t m, double rho);
+
+}  // namespace dpcopula::data
+
+#endif  // DPCOPULA_DATA_GENERATOR_H_

@@ -1,0 +1,58 @@
+#ifndef DPCOPULA_DATA_SCHEMA_H_
+#define DPCOPULA_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpcopula::data {
+
+/// One attribute of a dataset. All attributes are ordinal with the discrete
+/// domain {0, 1, ..., domain_size - 1}; nominal attributes are assumed to
+/// have been converted by imposing a total order on their domain, exactly as
+/// the paper does for the census data (§5.1, following [39]).
+struct Attribute {
+  std::string name;
+  std::int64_t domain_size = 0;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+/// Ordered attribute list describing a table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const {
+    for (std::size_t i = 0; i < attributes_.size(); ++i) {
+      if (attributes_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Product of all domain sizes (the paper's domain space), saturating at
+  /// the double range — used only for reporting.
+  double DomainSpace() const {
+    double prod = 1.0;
+    for (const auto& a : attributes_) {
+      prod *= static_cast<double>(a.domain_size);
+    }
+    return prod;
+  }
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace dpcopula::data
+
+#endif  // DPCOPULA_DATA_SCHEMA_H_

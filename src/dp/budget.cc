@@ -1,0 +1,45 @@
+#include "dp/budget.h"
+
+#include <cmath>
+
+namespace dpcopula::dp {
+
+namespace {
+// Tolerance for floating-point accumulation across many small charges (e.g.
+// epsilon/m charged m times).
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+BudgetAccountant::BudgetAccountant(double epsilon, std::string label)
+    : total_(epsilon), label_(std::move(label)) {}
+
+Status BudgetAccountant::Charge(double epsilon, const std::string& what) {
+  if (epsilon < 0.0 || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("budget charge must be finite and >= 0");
+  }
+  if (spent_ + epsilon > total_ + kSlack) {
+    return Status::PrivacyBudgetExceeded(
+        label_ + ": charge " + std::to_string(epsilon) + " for '" + what +
+        "' exceeds remaining " + std::to_string(remaining()));
+  }
+  spent_ += epsilon;
+  entries_.push_back({epsilon, /*parallel=*/false, what});
+  return Status::OK();
+}
+
+Status BudgetAccountant::ChargeParallel(double epsilon,
+                                        const std::string& what) {
+  if (epsilon < 0.0 || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("budget charge must be finite and >= 0");
+  }
+  if (spent_ + epsilon > total_ + kSlack) {
+    return Status::PrivacyBudgetExceeded(
+        label_ + ": parallel charge " + std::to_string(epsilon) + " for '" +
+        what + "' exceeds remaining " + std::to_string(remaining()));
+  }
+  spent_ += epsilon;
+  entries_.push_back({epsilon, /*parallel=*/true, what});
+  return Status::OK();
+}
+
+}  // namespace dpcopula::dp

@@ -1,0 +1,55 @@
+#ifndef DPCOPULA_DP_BUDGET_H_
+#define DPCOPULA_DP_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dpcopula::dp {
+
+/// Tracks epsilon spending under sequential composition (Theorem 3.1).
+/// Mechanisms charge the accountant before drawing noise; an over-budget
+/// charge fails with PrivacyBudgetExceeded, turning accounting mistakes into
+/// loud errors instead of silent privacy leaks.
+///
+/// Parallel composition (Theorem 3.2) is modeled by creating one child
+/// accountant per disjoint partition via `SplitParallel`: the children share
+/// the parent's allowance, and the parent records only the maximum spent by
+/// any child.
+class BudgetAccountant {
+ public:
+  /// An accountant allowed to spend up to `epsilon` in total.
+  explicit BudgetAccountant(double epsilon, std::string label = "root");
+
+  double total_epsilon() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+  const std::string& label() const { return label_; }
+
+  /// Charges `epsilon` under sequential composition.
+  Status Charge(double epsilon, const std::string& what);
+
+  /// Records that `epsilon` was spent on each of several *disjoint* subsets
+  /// of the data. Under parallel composition this costs only `epsilon`.
+  Status ChargeParallel(double epsilon, const std::string& what);
+
+  /// Log of every charge, for audits and tests.
+  struct Entry {
+    double epsilon;
+    bool parallel;
+    std::string what;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+  std::string label_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dpcopula::dp
+
+#endif  // DPCOPULA_DP_BUDGET_H_

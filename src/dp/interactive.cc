@@ -1,0 +1,35 @@
+#include "dp/interactive.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace dpcopula::dp {
+
+InteractiveEngine::InteractiveEngine(data::Table table, double epsilon)
+    : table_(std::move(table)), accountant_(epsilon, "interactive") {}
+
+Result<double> InteractiveEngine::AnswerRangeCount(
+    const std::vector<std::int64_t>& lo, const std::vector<std::int64_t>& hi,
+    double query_epsilon, Rng* rng) {
+  if (!(query_epsilon > 0.0)) {
+    return Status::InvalidArgument("query epsilon must be > 0");
+  }
+  if (lo.size() != table_.num_columns() || hi.size() != lo.size()) {
+    return Status::InvalidArgument("query arity mismatch");
+  }
+  DPC_RETURN_NOT_OK(accountant_.Charge(query_epsilon, "range-count"));
+  std::vector<double> dlo(lo.begin(), lo.end());
+  std::vector<double> dhi(hi.begin(), hi.end());
+  const double truth = static_cast<double>(table_.RangeCount(dlo, dhi));
+  ++queries_answered_;
+  return truth + stats::SampleLaplace(rng, 1.0 / query_epsilon);
+}
+
+std::size_t InteractiveEngine::QueriesRemaining(double query_epsilon) const {
+  if (!(query_epsilon > 0.0)) return 0;
+  return static_cast<std::size_t>(
+      std::floor(accountant_.remaining() / query_epsilon + 1e-9));
+}
+
+}  // namespace dpcopula::dp

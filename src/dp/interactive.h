@@ -1,0 +1,49 @@
+#ifndef DPCOPULA_DP_INTERACTIVE_H_
+#define DPCOPULA_DP_INTERACTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+#include "dp/budget.h"
+
+namespace dpcopula::dp {
+
+/// Interactive differentially private query answering — the alternative the
+/// paper's introduction contrasts DPCopula against: each range-count query
+/// is answered with fresh Laplace noise and permanently consumes part of
+/// the privacy budget (sequential composition); once the budget is
+/// exhausted the engine refuses further queries, while a synthetic dataset
+/// can be queried forever.
+class InteractiveEngine {
+ public:
+  /// Serves queries over `table` under a lifetime budget of `epsilon`.
+  /// The table is copied; the engine owns its data.
+  InteractiveEngine(data::Table table, double epsilon);
+
+  /// Answers SELECT COUNT(*) WHERE lo <= A <= hi (inclusive per attribute)
+  /// spending `query_epsilon` of the remaining budget. A range count has
+  /// sensitivity 1, so the noise is Lap(1/query_epsilon). Returns
+  /// PrivacyBudgetExceeded once the lifetime budget cannot cover the
+  /// charge.
+  Result<double> AnswerRangeCount(const std::vector<std::int64_t>& lo,
+                                  const std::vector<std::int64_t>& hi,
+                                  double query_epsilon, Rng* rng);
+
+  double remaining_budget() const { return accountant_.remaining(); }
+  std::size_t queries_answered() const { return queries_answered_; }
+
+  /// Number of further queries affordable at `query_epsilon` each.
+  std::size_t QueriesRemaining(double query_epsilon) const;
+
+ private:
+  data::Table table_;
+  BudgetAccountant accountant_;
+  std::size_t queries_answered_ = 0;
+};
+
+}  // namespace dpcopula::dp
+
+#endif  // DPCOPULA_DP_INTERACTIVE_H_

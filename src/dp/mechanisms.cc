@@ -1,0 +1,83 @@
+#include "dp/mechanisms.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace dpcopula::dp {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double sensitivity)
+    : epsilon_(epsilon),
+      sensitivity_(sensitivity),
+      scale_(sensitivity / epsilon) {
+  assert(epsilon > 0.0 && sensitivity >= 0.0);
+}
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
+                                                  double sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("Laplace mechanism: epsilon must be > 0");
+  }
+  if (sensitivity < 0.0 || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument(
+        "Laplace mechanism: sensitivity must be >= 0");
+  }
+  return LaplaceMechanism(epsilon, sensitivity);
+}
+
+double LaplaceMechanism::Perturb(Rng* rng, double value) const {
+  if (scale_ == 0.0) return value;  // Zero sensitivity => exact release.
+  return value + stats::SampleLaplace(rng, scale_);
+}
+
+std::vector<double> LaplaceMechanism::PerturbVector(
+    Rng* rng, const std::vector<double>& values) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = Perturb(rng, values[i]);
+  }
+  return out;
+}
+
+Result<std::size_t> ExponentialMechanism(Rng* rng,
+                                         const std::vector<double>& scores,
+                                         double epsilon, double sensitivity) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("exponential mechanism: empty scores");
+  }
+  if (!(epsilon > 0.0) || !(sensitivity > 0.0)) {
+    return Status::InvalidArgument(
+        "exponential mechanism: epsilon and sensitivity must be > 0");
+  }
+  double max_score = scores[0];
+  for (double s : scores) max_score = std::max(max_score, s);
+  const double beta = epsilon / (2.0 * sensitivity);
+
+  std::vector<double> weights(scores.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    weights[i] = std::exp(beta * (scores[i] - max_score));
+    total += weights[i];
+  }
+  double u = rng->NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // Round-off fallthrough.
+}
+
+double SampleTwoSidedGeometric(Rng* rng, double epsilon, double sensitivity) {
+  assert(epsilon > 0.0 && sensitivity > 0.0);
+  const double alpha = std::exp(-epsilon / sensitivity);
+  // Two-sided geometric = difference of two geometric(1 - alpha) variables;
+  // sample via inverse CDF on each side.
+  auto sample_geometric = [&]() {
+    const double u = rng->NextDoubleOpen();
+    return std::floor(std::log(u) / std::log(alpha));
+  };
+  return sample_geometric() - sample_geometric();
+}
+
+}  // namespace dpcopula::dp

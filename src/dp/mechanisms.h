@@ -1,0 +1,56 @@
+#ifndef DPCOPULA_DP_MECHANISMS_H_
+#define DPCOPULA_DP_MECHANISMS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace dpcopula::dp {
+
+/// Laplace mechanism (Dwork et al. [16]): releases value + Lap(sensitivity /
+/// epsilon). `sensitivity` is the L1 sensitivity of the released quantity.
+class LaplaceMechanism {
+ public:
+  LaplaceMechanism(double epsilon, double sensitivity);
+
+  /// Noise scale b = sensitivity / epsilon.
+  double scale() const { return scale_; }
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+  /// One perturbed scalar.
+  double Perturb(Rng* rng, double value) const;
+
+  /// Element-wise perturbation (the vector must be released under this
+  /// epsilon as a whole, i.e. `sensitivity` must bound the L1 change of the
+  /// entire vector).
+  std::vector<double> PerturbVector(Rng* rng,
+                                    const std::vector<double>& values) const;
+
+  /// Validates parameters; factory used by public entry points.
+  static Result<LaplaceMechanism> Create(double epsilon, double sensitivity);
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+  double scale_;
+};
+
+/// Exponential mechanism (McSherry & Talwar [29]): samples index i with
+/// probability proportional to exp(epsilon * score_i / (2 * sensitivity)).
+/// Scores are shifted by max for numerical stability. Returns an error for
+/// empty score vectors or non-positive epsilon.
+Result<std::size_t> ExponentialMechanism(Rng* rng,
+                                         const std::vector<double>& scores,
+                                         double epsilon, double sensitivity);
+
+/// Geometric mechanism: integer-valued two-sided geometric noise with the
+/// same epsilon/sensitivity calibration as Laplace; used where integral
+/// counts are released.
+double SampleTwoSidedGeometric(Rng* rng, double epsilon, double sensitivity);
+
+}  // namespace dpcopula::dp
+
+#endif  // DPCOPULA_DP_MECHANISMS_H_

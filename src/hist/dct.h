@@ -1,0 +1,20 @@
+#ifndef DPCOPULA_HIST_DCT_H_
+#define DPCOPULA_HIST_DCT_H_
+
+#include <vector>
+
+namespace dpcopula::hist {
+
+/// Orthonormal DCT-II and its inverse (DCT-III). For input x of length N:
+///   X_k = s_k * sum_n x_n cos(pi (n + 1/2) k / N),  s_0 = sqrt(1/N),
+///   s_k = sqrt(2/N) for k > 0.
+/// Orthonormality gives Parseval's identity, which the EFPA error analysis
+/// relies on. Direct O(N^2) evaluation — domains in this library are at
+/// most ~1000 bins, where the quadratic cost is negligible and avoids FFT
+/// round-off subtleties for non-power-of-two lengths.
+std::vector<double> ForwardDct(const std::vector<double>& x);
+std::vector<double> InverseDct(const std::vector<double>& coeffs);
+
+}  // namespace dpcopula::hist
+
+#endif  // DPCOPULA_HIST_DCT_H_

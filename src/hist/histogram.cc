@@ -1,0 +1,134 @@
+#include "hist/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpcopula::hist {
+
+Result<Histogram> Histogram::Create(std::vector<std::int64_t> dims,
+                                    std::uint64_t max_cells) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("histogram needs >= 1 dimension");
+  }
+  std::uint64_t cells = 1;
+  for (std::int64_t d : dims) {
+    if (d <= 0) return Status::InvalidArgument("dimension size must be > 0");
+    if (cells > max_cells / static_cast<std::uint64_t>(d)) {
+      return Status::ResourceExhausted(
+          "histogram would exceed the cell budget (" +
+          std::to_string(max_cells) +
+          " cells); dense-histogram methods do not scale to this domain");
+    }
+    cells *= static_cast<std::uint64_t>(d);
+  }
+  Histogram h;
+  h.dims_ = std::move(dims);
+  h.strides_.resize(h.dims_.size());
+  std::uint64_t stride = 1;
+  for (std::size_t j = h.dims_.size(); j-- > 0;) {
+    h.strides_[j] = stride;
+    stride *= static_cast<std::uint64_t>(h.dims_[j]);
+  }
+  h.data_.assign(cells, 0.0);
+  return h;
+}
+
+Result<Histogram> Histogram::FromTable(const data::Table& table,
+                                       std::uint64_t max_cells) {
+  std::vector<std::int64_t> dims;
+  dims.reserve(table.schema().num_attributes());
+  for (const auto& attr : table.schema().attributes()) {
+    dims.push_back(attr.domain_size);
+  }
+  DPC_ASSIGN_OR_RETURN(Histogram h, Create(std::move(dims), max_cells));
+  std::vector<std::int64_t> idx(table.num_columns());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t j = 0; j < table.num_columns(); ++j) {
+      idx[j] = static_cast<std::int64_t>(std::llround(table.at(r, j)));
+    }
+    h.Add(idx, 1.0);
+  }
+  return h;
+}
+
+Result<Histogram> Histogram::FromColumn(const data::Table& table,
+                                        std::size_t col) {
+  if (col >= table.num_columns()) {
+    return Status::OutOfRange("FromColumn: column index out of range");
+  }
+  DPC_ASSIGN_OR_RETURN(
+      Histogram h, Create({table.schema().attribute(col).domain_size}));
+  for (double v : table.column(col)) {
+    h.mutable_data()[static_cast<std::size_t>(std::llround(v))] += 1.0;
+  }
+  return h;
+}
+
+std::uint64_t Histogram::FlatIndex(
+    const std::vector<std::int64_t>& index) const {
+  std::uint64_t flat = 0;
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    flat += static_cast<std::uint64_t>(index[j]) * strides_[j];
+  }
+  return flat;
+}
+
+double Histogram::At(const std::vector<std::int64_t>& index) const {
+  return data_[FlatIndex(index)];
+}
+
+void Histogram::Set(const std::vector<std::int64_t>& index, double value) {
+  data_[FlatIndex(index)] = value;
+}
+
+void Histogram::Add(const std::vector<std::int64_t>& index, double delta) {
+  data_[FlatIndex(index)] += delta;
+}
+
+double Histogram::RangeSum(const std::vector<std::int64_t>& lo,
+                           const std::vector<std::int64_t>& hi) const {
+  const std::size_t m = dims_.size();
+  std::vector<std::int64_t> clo(m), chi(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    clo[j] = std::clamp<std::int64_t>(lo[j], 0, dims_[j] - 1);
+    chi[j] = std::clamp<std::int64_t>(hi[j], 0, dims_[j] - 1);
+    if (clo[j] > chi[j]) return 0.0;
+  }
+  // Odometer over dimensions 0..m-2; the last dimension is summed as a
+  // contiguous run per odometer position.
+  const std::size_t last = m - 1;
+  std::vector<std::int64_t> cursor(clo.begin(), clo.end());
+  double total = 0.0;
+  for (;;) {
+    std::uint64_t base = 0;
+    for (std::size_t j = 0; j < last; ++j) {
+      base += static_cast<std::uint64_t>(cursor[j]) * strides_[j];
+    }
+    for (std::int64_t v = clo[last]; v <= chi[last]; ++v) {
+      total += data_[base + static_cast<std::uint64_t>(v)];
+    }
+    if (last == 0) return total;
+    // Advance, carrying from the least significant odometer digit.
+    bool carried = true;
+    for (std::size_t t = last; t-- > 0;) {
+      if (++cursor[t] <= chi[t]) {
+        carried = false;
+        break;
+      }
+      cursor[t] = clo[t];
+    }
+    if (carried) return total;
+  }
+}
+
+double Histogram::Total() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+void Histogram::ClampNonNegative() {
+  for (double& v : data_) v = std::max(0.0, v);
+}
+
+}  // namespace dpcopula::hist

@@ -1,0 +1,73 @@
+#ifndef DPCOPULA_HIST_HISTOGRAM_H_
+#define DPCOPULA_HIST_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace dpcopula::hist {
+
+/// Dense m-dimensional histogram over the product domain of a schema's
+/// attributes. Used by the histogram-input baselines (Privelet+, FP, P-HP)
+/// and, in 1-d form, by the DP marginal publishers.
+///
+/// Materializing the full product domain is exactly the scalability weakness
+/// the paper attributes to these methods; `Create` therefore enforces an
+/// explicit cell budget and fails loudly instead of exhausting memory.
+class Histogram {
+ public:
+  /// Maximum number of cells `Create` will materialize by default (2^26
+  /// doubles = 512 MiB is far above this; 2^26 cells = 64M).
+  static constexpr std::uint64_t kDefaultMaxCells = 1ULL << 26;
+
+  /// Builds an all-zero histogram for the given per-dimension sizes.
+  static Result<Histogram> Create(std::vector<std::int64_t> dims,
+                                  std::uint64_t max_cells = kDefaultMaxCells);
+
+  /// Builds the frequency histogram of `table` (every attribute becomes one
+  /// dimension).
+  static Result<Histogram> FromTable(
+      const data::Table& table, std::uint64_t max_cells = kDefaultMaxCells);
+
+  /// Builds the 1-d frequency histogram of column `col` of `table`.
+  static Result<Histogram> FromColumn(const data::Table& table,
+                                      std::size_t col);
+
+  std::size_t num_dims() const { return dims_.size(); }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::uint64_t num_cells() const { return data_.size(); }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Cell accessors by multi-index.
+  double At(const std::vector<std::int64_t>& index) const;
+  void Set(const std::vector<std::int64_t>& index, double value);
+  void Add(const std::vector<std::int64_t>& index, double delta);
+
+  /// Flat offset of a multi-index (row-major, last dimension fastest).
+  std::uint64_t FlatIndex(const std::vector<std::int64_t>& index) const;
+
+  /// Sum over the axis-aligned box lo[j] <= v_j <= hi[j] (inclusive).
+  /// Indices are clamped to the domain.
+  double RangeSum(const std::vector<std::int64_t>& lo,
+                  const std::vector<std::int64_t>& hi) const;
+
+  /// Total mass.
+  double Total() const;
+
+  /// Clamps negative cells to zero (standard non-negativity
+  /// post-processing; does not affect privacy).
+  void ClampNonNegative();
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<std::uint64_t> strides_;
+  std::vector<double> data_;
+};
+
+}  // namespace dpcopula::hist
+
+#endif  // DPCOPULA_HIST_HISTOGRAM_H_

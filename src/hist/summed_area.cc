@@ -1,0 +1,75 @@
+#include "hist/summed_area.h"
+
+#include <algorithm>
+
+namespace dpcopula::hist {
+
+Result<SummedAreaTable> SummedAreaTable::Build(const Histogram& h) {
+  if (h.num_dims() == 0) {
+    return Status::InvalidArgument("summed-area: empty histogram");
+  }
+  SummedAreaTable table;
+  table.dims_ = h.dims();
+  table.strides_.resize(table.dims_.size());
+  std::uint64_t stride = 1;
+  for (std::size_t j = table.dims_.size(); j-- > 0;) {
+    table.strides_[j] = stride;
+    stride *= static_cast<std::uint64_t>(table.dims_[j]);
+  }
+  table.prefix_ = h.data();
+
+  // Standard per-axis prefix pass: after processing axis j, prefix_[idx]
+  // holds the sum over all cells with coordinate_j' <= coordinate_j and
+  // previous axes already accumulated.
+  const std::uint64_t cells = table.prefix_.size();
+  for (std::size_t ax = 0; ax < table.dims_.size(); ++ax) {
+    const std::uint64_t ax_stride = table.strides_[ax];
+    const auto ax_len = static_cast<std::uint64_t>(table.dims_[ax]);
+    for (std::uint64_t base = 0; base < cells; ++base) {
+      // Only process cells whose ax coordinate is 0 to start each run.
+      const std::uint64_t coord = (base / ax_stride) % ax_len;
+      if (coord != 0) continue;
+      for (std::uint64_t k = 1; k < ax_len; ++k) {
+        table.prefix_[base + k * ax_stride] +=
+            table.prefix_[base + (k - 1) * ax_stride];
+      }
+    }
+  }
+  return table;
+}
+
+double SummedAreaTable::RangeSum(const std::vector<std::int64_t>& lo,
+                                 const std::vector<std::int64_t>& hi) const {
+  const std::size_t m = dims_.size();
+  std::vector<std::int64_t> clo(m), chi(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    clo[j] = std::clamp<std::int64_t>(lo[j], 0, dims_[j] - 1);
+    chi[j] = std::clamp<std::int64_t>(hi[j], 0, dims_[j] - 1);
+    if (clo[j] > chi[j]) return 0.0;
+  }
+  // Inclusion–exclusion over the 2^m corners: corner bit j picks hi_j
+  // (sign +) or lo_j - 1 (sign -, skip if < 0).
+  double total = 0.0;
+  const std::uint64_t corners = 1ULL << m;
+  for (std::uint64_t mask = 0; mask < corners; ++mask) {
+    std::uint64_t flat = 0;
+    int sign = 1;
+    bool skip = false;
+    for (std::size_t j = 0; j < m && !skip; ++j) {
+      if (mask & (1ULL << j)) {
+        flat += static_cast<std::uint64_t>(chi[j]) * strides_[j];
+      } else {
+        if (clo[j] == 0) {
+          skip = true;  // Empty lower part contributes nothing.
+          break;
+        }
+        flat += static_cast<std::uint64_t>(clo[j] - 1) * strides_[j];
+        sign = -sign;
+      }
+    }
+    if (!skip) total += sign * prefix_[flat];
+  }
+  return total;
+}
+
+}  // namespace dpcopula::hist

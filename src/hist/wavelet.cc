@@ -1,0 +1,192 @@
+#include "hist/wavelet.h"
+
+#include <cmath>
+
+namespace dpcopula::hist {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865476;
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// In-place full orthonormal Haar decomposition of x[0..n), n a power of two.
+void HaarForwardInPlace(std::vector<double>* x) {
+  const std::size_t n = x->size();
+  std::vector<double> tmp(n);
+  for (std::size_t len = n; len >= 2; len >>= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[i] = ((*x)[2 * i] + (*x)[2 * i + 1]) * kInvSqrt2;
+      tmp[half + i] = ((*x)[2 * i] - (*x)[2 * i + 1]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(len),
+              x->begin());
+  }
+}
+
+void HaarInverseInPlace(std::vector<double>* x) {
+  const std::size_t n = x->size();
+  std::vector<double> tmp(n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = ((*x)[i] + (*x)[half + i]) * kInvSqrt2;
+      tmp[2 * i + 1] = ((*x)[i] - (*x)[half + i]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(len),
+              x->begin());
+  }
+}
+
+// Applies `op` to every 1-d line of `h` along axis `ax`.
+void ForEachLine(Histogram* h, std::size_t ax,
+                 void (*op)(std::vector<double>*)) {
+  const auto& dims = h->dims();
+  const std::size_t m = dims.size();
+  const auto axis_len = static_cast<std::size_t>(dims[ax]);
+
+  // Stride of axis `ax` in the flat layout (row-major, last fastest).
+  std::vector<std::uint64_t> strides(m);
+  std::uint64_t stride = 1;
+  for (std::size_t j = m; j-- > 0;) {
+    strides[j] = stride;
+    stride *= static_cast<std::uint64_t>(dims[j]);
+  }
+
+  std::vector<std::int64_t> cursor(m, 0);
+  std::vector<double> line(axis_len);
+  auto& data = h->mutable_data();
+  for (;;) {
+    std::uint64_t base = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != ax) base += static_cast<std::uint64_t>(cursor[j]) * strides[j];
+    }
+    for (std::size_t i = 0; i < axis_len; ++i) {
+      line[i] = data[base + i * strides[ax]];
+    }
+    op(&line);
+    for (std::size_t i = 0; i < axis_len; ++i) {
+      data[base + i * strides[ax]] = line[i];
+    }
+    // Odometer over all axes except `ax`.
+    bool carried = true;
+    for (std::size_t t = m; t-- > 0;) {
+      if (t == ax) continue;
+      if (++cursor[t] < dims[t]) {
+        carried = false;
+        break;
+      }
+      cursor[t] = 0;
+    }
+    if (carried) return;
+  }
+}
+
+// Copies the overlapping region of `src` into `dst` (both histograms, dims
+// may differ per axis).
+void CopyOverlap(const Histogram& src, Histogram* dst) {
+  const std::size_t m = src.num_dims();
+  std::vector<std::int64_t> extent(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    extent[j] = std::min(src.dims()[j], dst->dims()[j]);
+  }
+  std::vector<std::int64_t> cursor(m, 0);
+  for (;;) {
+    dst->Set(cursor, src.At(cursor));
+    bool carried = true;
+    for (std::size_t t = m; t-- > 0;) {
+      if (++cursor[t] < extent[t]) {
+        carried = false;
+        break;
+      }
+      cursor[t] = 0;
+    }
+    if (carried) return;
+  }
+}
+
+}  // namespace
+
+std::vector<double> ForwardHaar(const std::vector<double>& input) {
+  std::vector<double> x = input;
+  x.resize(NextPowerOfTwo(std::max<std::size_t>(1, x.size())), 0.0);
+  HaarForwardInPlace(&x);
+  return x;
+}
+
+std::vector<double> InverseHaar(const std::vector<double>& coeffs) {
+  std::vector<double> x = coeffs;
+  HaarInverseInPlace(&x);
+  return x;
+}
+
+int HaarLevels(std::size_t padded_length) {
+  int levels = 0;
+  while (padded_length > 1) {
+    padded_length >>= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+int HaarCoefficientLevel(std::size_t index) {
+  if (index == 0) return 0;
+  int level = 0;
+  while (index > 0) {
+    index >>= 1;
+    ++level;
+  }
+  return level;
+}
+
+Result<Histogram> ForwardHaarMultiDim(const Histogram& h) {
+  return ForwardHaarMultiDim(h, std::vector<bool>(h.num_dims(), true));
+}
+
+Result<Histogram> InverseHaarMultiDim(
+    const Histogram& coeffs, const std::vector<std::int64_t>& original_dims) {
+  return InverseHaarMultiDim(coeffs, original_dims,
+                             std::vector<bool>(coeffs.num_dims(), true));
+}
+
+Result<Histogram> ForwardHaarMultiDim(
+    const Histogram& h, const std::vector<bool>& transform_axis) {
+  if (transform_axis.size() != h.num_dims()) {
+    return Status::InvalidArgument("transform_axis size mismatch");
+  }
+  std::vector<std::int64_t> padded(h.num_dims());
+  for (std::size_t j = 0; j < h.num_dims(); ++j) {
+    padded[j] = transform_axis[j]
+                    ? static_cast<std::int64_t>(NextPowerOfTwo(
+                          static_cast<std::size_t>(h.dims()[j])))
+                    : h.dims()[j];
+  }
+  DPC_ASSIGN_OR_RETURN(Histogram out, Histogram::Create(padded));
+  CopyOverlap(h, &out);
+  for (std::size_t ax = 0; ax < out.num_dims(); ++ax) {
+    if (transform_axis[ax]) ForEachLine(&out, ax, &HaarForwardInPlace);
+  }
+  return out;
+}
+
+Result<Histogram> InverseHaarMultiDim(
+    const Histogram& coeffs, const std::vector<std::int64_t>& original_dims,
+    const std::vector<bool>& transform_axis) {
+  if (transform_axis.size() != coeffs.num_dims()) {
+    return Status::InvalidArgument("transform_axis size mismatch");
+  }
+  Histogram work = coeffs;
+  for (std::size_t ax = 0; ax < work.num_dims(); ++ax) {
+    if (transform_axis[ax]) ForEachLine(&work, ax, &HaarInverseInPlace);
+  }
+  DPC_ASSIGN_OR_RETURN(Histogram out, Histogram::Create(original_dims));
+  CopyOverlap(work, &out);
+  return out;
+}
+
+}  // namespace dpcopula::hist

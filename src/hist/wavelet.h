@@ -1,0 +1,50 @@
+#ifndef DPCOPULA_HIST_WAVELET_H_
+#define DPCOPULA_HIST_WAVELET_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hist/histogram.h"
+
+namespace dpcopula::hist {
+
+/// Orthonormal 1-d Haar wavelet transform. `ForwardHaar` pads the input
+/// with zeros to the next power of two (the padded length is returned via
+/// the output size); `InverseHaar` inverts exactly. The transform is
+/// orthonormal (1/sqrt(2) butterflies), so Parseval holds and independent
+/// per-coefficient noise maps back to bounded per-cell noise — the property
+/// Privelet exploits.
+std::vector<double> ForwardHaar(const std::vector<double>& input);
+std::vector<double> InverseHaar(const std::vector<double>& coeffs);
+
+/// Number of levels in a length-n (power of two) Haar transform: log2(n).
+int HaarLevels(std::size_t padded_length);
+
+/// Level of coefficient `index` in the standard layout produced by
+/// ForwardHaar: index 0 is the scaling (average) coefficient (level 0);
+/// detail coefficients at positions [2^{l-1}, 2^l) belong to level l.
+int HaarCoefficientLevel(std::size_t index);
+
+/// Nested (separable) multi-dimensional Haar transform of a histogram:
+/// applies the 1-d transform along each axis in turn. Each axis is padded
+/// to a power of two, so the returned histogram's dims may exceed the
+/// input's; `InverseHaarMultiDim` undoes both transform and padding given
+/// the original dims.
+Result<Histogram> ForwardHaarMultiDim(const Histogram& h);
+Result<Histogram> InverseHaarMultiDim(const Histogram& coeffs,
+                                      const std::vector<std::int64_t>&
+                                          original_dims);
+
+/// Selective variants: axis j is transformed only when transform_axis[j] is
+/// true (untransformed axes keep their original length — no padding).
+/// Privelet+ uses this to leave tiny dimensions in the count domain.
+Result<Histogram> ForwardHaarMultiDim(const Histogram& h,
+                                      const std::vector<bool>& transform_axis);
+Result<Histogram> InverseHaarMultiDim(const Histogram& coeffs,
+                                      const std::vector<std::int64_t>&
+                                          original_dims,
+                                      const std::vector<bool>& transform_axis);
+
+}  // namespace dpcopula::hist
+
+#endif  // DPCOPULA_HIST_WAVELET_H_

@@ -1,0 +1,80 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace dpcopula::linalg {
+
+Result<Matrix> CholeskyDecompose(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(
+          "matrix is not positive definite (pivot " + std::to_string(j) +
+          " = " + std::to_string(diag) + ")");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& l,
+                                          const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: size mismatch");
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+Result<Matrix> CholeskyInverse(const Matrix& l) {
+  const std::size_t n = l.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    DPC_ASSIGN_OR_RETURN(std::vector<double> col, CholeskySolve(l, e));
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  // The result is symmetric in exact arithmetic; enforce it to kill
+  // round-off asymmetry.
+  Symmetrize(&inv);
+  return inv;
+}
+
+double CholeskyLogDet(const Matrix& l) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+bool IsPositiveDefinite(const Matrix& a) {
+  return CholeskyDecompose(a).ok();
+}
+
+}  // namespace dpcopula::linalg

@@ -1,0 +1,30 @@
+#ifndef DPCOPULA_LINALG_CHOLESKY_H_
+#define DPCOPULA_LINALG_CHOLESKY_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace dpcopula::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T for a symmetric
+/// positive-definite A. Returns NumericalError if A is not (numerically)
+/// positive definite.
+Result<Matrix> CholeskyDecompose(const Matrix& a);
+
+/// Solves A x = b given the Cholesky factor L of A (forward + back
+/// substitution).
+Result<std::vector<double>> CholeskySolve(const Matrix& l,
+                                          const std::vector<double>& b);
+
+/// Inverse of A given its Cholesky factor L.
+Result<Matrix> CholeskyInverse(const Matrix& l);
+
+/// log det(A) given the Cholesky factor L of A: 2 * sum log L_ii.
+double CholeskyLogDet(const Matrix& l);
+
+/// Convenience: true iff CholeskyDecompose succeeds.
+bool IsPositiveDefinite(const Matrix& a);
+
+}  // namespace dpcopula::linalg
+
+#endif  // DPCOPULA_LINALG_CHOLESKY_H_

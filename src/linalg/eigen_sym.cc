@@ -1,0 +1,93 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dpcopula::linalg {
+
+Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
+                                    double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("EigenSym requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("EigenSym requires a symmetric matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix d = a;  // Will be driven to diagonal form.
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of squared off-diagonal magnitudes; convergence criterion.
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    if (std::sqrt(off) <= tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        // Stable Jacobi rotation parameters.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition ed;
+  ed.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ed.values[i] = d(i, i);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return ed.values[i] > ed.values[j];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = ed.values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) sorted_vectors(i, j) = v(i, order[j]);
+  }
+  ed.values = std::move(sorted_values);
+  ed.vectors = std::move(sorted_vectors);
+  return ed;
+}
+
+Matrix EigenReconstruct(const EigenDecomposition& ed) {
+  const std::size_t n = ed.values.size();
+  Matrix scaled = ed.vectors;  // V diag(values)
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) scaled(i, j) *= ed.values[j];
+  return scaled * ed.vectors.Transpose();
+}
+
+}  // namespace dpcopula::linalg

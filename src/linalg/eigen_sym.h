@@ -1,0 +1,30 @@
+#ifndef DPCOPULA_LINALG_EIGEN_SYM_H_
+#define DPCOPULA_LINALG_EIGEN_SYM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace dpcopula::linalg {
+
+/// Eigendecomposition A = V diag(values) V^T of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Robust and accurate for
+/// the m x m correlation matrices this library handles (m up to a few
+/// hundred). Returns InvalidArgument for non-square/non-symmetric input.
+Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps = 64,
+                                    double tol = 1e-13);
+
+/// Reconstructs V diag(values) V^T — used by tests and the PSD repair.
+Matrix EigenReconstruct(const EigenDecomposition& ed);
+
+}  // namespace dpcopula::linalg
+
+#endif  // DPCOPULA_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,119 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dpcopula::linalg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scaled(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double mx = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  char buf[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "% .*f ", precision, (*this)(r, c));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Symmetrize(Matrix* a) {
+  assert(a->rows() == a->cols());
+  for (std::size_t r = 0; r < a->rows(); ++r) {
+    for (std::size_t c = r + 1; c < a->cols(); ++c) {
+      const double avg = 0.5 * ((*a)(r, c) + (*a)(c, r));
+      (*a)(r, c) = avg;
+      (*a)(c, r) = avg;
+    }
+  }
+}
+
+}  // namespace dpcopula::linalg

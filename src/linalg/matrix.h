@@ -1,0 +1,80 @@
+#ifndef DPCOPULA_LINALG_MATRIX_H_
+#define DPCOPULA_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dpcopula::linalg {
+
+/// Dense row-major matrix of doubles. Sized for the correlation-matrix work
+/// this library does (m <= a few hundred), not for BLAS-scale workloads.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from a row-major initializer, e.g. {{1,2},{3,4}}.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix Transpose() const;
+
+  /// Matrix product; aborts on shape mismatch in debug, returns error status
+  /// via the checked variant below. This unchecked form is for hot paths with
+  /// shapes guaranteed by construction.
+  Matrix operator*(const Matrix& other) const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+
+  /// Scales every entry.
+  Matrix Scaled(double s) const;
+
+  /// y = A * x for a length-cols() vector.
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// True if square and |a_ij - a_ji| <= tol everywhere.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  /// Human-readable dump for diagnostics.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Symmetrizes in place: A <- (A + A^T) / 2. Requires square.
+void Symmetrize(Matrix* a);
+
+}  // namespace dpcopula::linalg
+
+#endif  // DPCOPULA_LINALG_MATRIX_H_

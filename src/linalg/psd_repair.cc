@@ -1,0 +1,83 @@
+#include "linalg/psd_repair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+
+namespace dpcopula::linalg {
+
+namespace {
+
+// Rescales a symmetric PSD matrix to unit diagonal and clamps off-diagonal
+// entries into [-1, 1].
+void NormalizeToCorrelation(Matrix* a) {
+  const std::size_t n = a->rows();
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = ((*a)(i, i) > 0.0) ? std::sqrt((*a)(i, i)) : 1.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      (*a)(i, j) /= d[i] * d[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    (*a)(i, i) = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) (*a)(i, j) = std::clamp((*a)(i, j), -1.0, 1.0);
+    }
+  }
+  Symmetrize(a);
+}
+
+}  // namespace
+
+Result<Matrix> RepairToCorrelation(const Matrix& a,
+                                   const PsdRepairOptions& options) {
+  DPC_ASSIGN_OR_RETURN(EigenDecomposition ed, EigenSym(a));
+  for (double& lambda : ed.values) {
+    if (lambda < options.min_eigenvalue) {
+      lambda = options.use_abs
+                   ? std::max(std::fabs(lambda), options.min_eigenvalue)
+                   : options.min_eigenvalue;
+    }
+  }
+  Matrix repaired = EigenReconstruct(ed);
+  NormalizeToCorrelation(&repaired);
+  // The clamp/renormalize can in principle reintroduce a tiny negative
+  // eigenvalue; nudge the diagonal until Cholesky succeeds.
+  double jitter = options.min_eigenvalue;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    if (IsPositiveDefinite(repaired)) return repaired;
+    for (std::size_t i = 0; i < repaired.rows(); ++i) {
+      for (std::size_t j = 0; j < repaired.cols(); ++j) {
+        if (i != j) repaired(i, j) /= (1.0 + jitter);
+      }
+    }
+    jitter *= 4.0;
+  }
+  return Status::NumericalError("PSD repair failed to converge");
+}
+
+Result<Matrix> EnsureCorrelationMatrix(const Matrix& a,
+                                       const PsdRepairOptions& options) {
+  if (a.rows() != a.cols() || !a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument(
+        "EnsureCorrelationMatrix requires a square symmetric matrix");
+  }
+  Matrix candidate = a;
+  bool in_range = true;
+  for (std::size_t i = 0; i < a.rows() && in_range; ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double want = (i == j) ? 1.0 : candidate(i, j);
+      if (i == j && std::fabs(candidate(i, j) - 1.0) > 1e-9) in_range = false;
+      if (std::fabs(want) > 1.0 + 1e-12) in_range = false;
+    }
+  }
+  if (in_range && IsPositiveDefinite(candidate)) return candidate;
+  return RepairToCorrelation(candidate, options);
+}
+
+}  // namespace dpcopula::linalg

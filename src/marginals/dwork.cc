@@ -1,0 +1,17 @@
+#include "marginals/dwork.h"
+
+#include "dp/mechanisms.h"
+
+namespace dpcopula::marginals {
+
+Result<std::vector<double>> PublishDworkHistogram(
+    const std::vector<double>& counts, double epsilon, Rng* rng) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("Dwork histogram: empty input");
+  }
+  DPC_ASSIGN_OR_RETURN(dp::LaplaceMechanism mech,
+                       dp::LaplaceMechanism::Create(epsilon, 1.0));
+  return mech.PerturbVector(rng, counts);
+}
+
+}  // namespace dpcopula::marginals

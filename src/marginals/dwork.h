@@ -1,0 +1,20 @@
+#ifndef DPCOPULA_MARGINALS_DWORK_H_
+#define DPCOPULA_MARGINALS_DWORK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace dpcopula::marginals {
+
+/// Dwork's baseline histogram mechanism [13]: adds independent Lap(1/epsilon)
+/// noise to every bin count. Adding/removing one record changes exactly one
+/// bin by 1, so the histogram's L1 sensitivity is 1. Returns the noisy
+/// counts (possibly negative; callers decide whether to post-process).
+Result<std::vector<double>> PublishDworkHistogram(
+    const std::vector<double>& counts, double epsilon, Rng* rng);
+
+}  // namespace dpcopula::marginals
+
+#endif  // DPCOPULA_MARGINALS_DWORK_H_

@@ -1,0 +1,26 @@
+#include "marginals/marginal_method.h"
+
+#include "marginals/dwork.h"
+#include "marginals/efpa.h"
+#include "marginals/noisefirst.h"
+#include "marginals/structurefirst.h"
+
+namespace dpcopula::marginals {
+
+Result<std::vector<double>> PublishMarginal(MarginalMethod method,
+                                            const std::vector<double>& counts,
+                                            double epsilon, Rng* rng) {
+  switch (method) {
+    case MarginalMethod::kEfpa:
+      return PublishEfpaHistogram(counts, epsilon, rng);
+    case MarginalMethod::kDwork:
+      return PublishDworkHistogram(counts, epsilon, rng);
+    case MarginalMethod::kNoiseFirst:
+      return PublishNoiseFirstHistogram(counts, epsilon, rng);
+    case MarginalMethod::kStructureFirst:
+      return PublishStructureFirstHistogram(counts, epsilon, rng);
+  }
+  return Status::InvalidArgument("unknown marginal method");
+}
+
+}  // namespace dpcopula::marginals

@@ -1,0 +1,113 @@
+#include "marginals/noisefirst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "marginals/dwork.h"
+
+namespace dpcopula::marginals {
+
+std::vector<double> MergeNoisyHistogram(const std::vector<double>& noisy,
+                                        double noise_variance,
+                                        std::size_t max_buckets) {
+  const std::size_t n = noisy.size();
+  if (n == 0) return {};
+  max_buckets = std::max<std::size_t>(1, std::min(max_buckets, n));
+
+  // Prefix sums for O(1) bucket SSE: SSE(a, b) = sum y^2 - (sum y)^2 / len.
+  std::vector<double> sum(n + 1, 0.0), sum_sq(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i + 1] = sum[i] + noisy[i];
+    sum_sq[i + 1] = sum_sq[i] + noisy[i] * noisy[i];
+  }
+  auto sse = [&](std::size_t a, std::size_t b) {  // [a, b)
+    const double s = sum[b] - sum[a];
+    const double len = static_cast<double>(b - a);
+    return (sum_sq[b] - sum_sq[a]) - s * s / len;
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[j] for the current bucket count; cut[k][j] = best last cut.
+  std::vector<double> prev(n + 1, kInf), cur(n + 1, kInf);
+  std::vector<std::vector<std::size_t>> cut(
+      max_buckets + 1, std::vector<std::size_t>(n + 1, 0));
+  prev[0] = 0.0;
+  double best_objective = kInf;
+  std::size_t best_buckets = 1;
+  std::vector<double> best_dp;
+
+  for (std::size_t k = 1; k <= max_buckets; ++k) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    for (std::size_t j = k; j <= n; ++j) {
+      for (std::size_t a = k - 1; a < j; ++a) {
+        if (prev[a] == kInf) continue;
+        const double cand = prev[a] + sse(a, j);
+        if (cand < cur[j]) {
+          cur[j] = cand;
+          cut[k][j] = a;
+        }
+      }
+    }
+    // Model-selection objective: within-bucket SSE of the noisy counts plus
+    // a per-bucket penalty. The unbiased correction alone (2 * var) is too
+    // weak because the DP minimizes over ~n cut positions per bucket, whose
+    // extreme-order SSE gain scales with var * log n; the log factor
+    // compensates for that selection bias (BIC-style).
+    const double penalty =
+        2.0 * noise_variance *
+        std::log(std::max<double>(3.0, static_cast<double>(n)));
+    const double objective = cur[n] + penalty * static_cast<double>(k);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_buckets = k;
+    }
+    std::swap(prev, cur);
+  }
+
+  // Recover the best segmentation by re-running the DP up to best_buckets
+  // (cut[][] already holds every level's argmins).
+  std::vector<std::size_t> boundaries;  // Descending cut positions.
+  {
+    std::size_t j = n;
+    for (std::size_t k = best_buckets; k >= 1; --k) {
+      boundaries.push_back(j);
+      j = cut[k][j];
+    }
+    boundaries.push_back(0);
+    std::reverse(boundaries.begin(), boundaries.end());
+  }
+
+  std::vector<double> out(n);
+  for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
+    const std::size_t a = boundaries[b];
+    const std::size_t e = boundaries[b + 1];
+    const double mean =
+        (sum[e] - sum[a]) / static_cast<double>(e - a);
+    for (std::size_t i = a; i < e; ++i) out[i] = mean;
+  }
+  return out;
+}
+
+Result<std::vector<double>> PublishNoiseFirstHistogram(
+    const std::vector<double>& counts, double epsilon, Rng* rng,
+    const NoiseFirstOptions& options) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("NoiseFirst: empty input");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("NoiseFirst: epsilon must be > 0");
+  }
+  // Noise first: the entire budget goes into per-bin Laplace noise; the
+  // merge is post-processing.
+  DPC_ASSIGN_OR_RETURN(std::vector<double> noisy,
+                       PublishDworkHistogram(counts, epsilon, rng));
+  const double noise_variance = 2.0 / (epsilon * epsilon);
+  std::size_t max_buckets = options.max_buckets;
+  if (max_buckets == 0) {
+    max_buckets = std::min<std::size_t>(counts.size(), 64);
+  }
+  return MergeNoisyHistogram(noisy, noise_variance, max_buckets);
+}
+
+}  // namespace dpcopula::marginals

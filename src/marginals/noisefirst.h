@@ -1,0 +1,43 @@
+#ifndef DPCOPULA_MARGINALS_NOISEFIRST_H_
+#define DPCOPULA_MARGINALS_NOISEFIRST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace dpcopula::marginals {
+
+/// NoiseFirst (Xu et al., ICDE 2012 [41]) — one of the 1-d DP histogram
+/// publishers the paper lists as pluggable into DPCopula's step 1.
+///
+/// Perturbs every bin with Lap(1/epsilon) first, then — as pure
+/// post-processing — merges adjacent bins into B buckets by dynamic
+/// programming and replaces each bucket with its mean. Merging k noisy bins
+/// averages their Laplace noise (variance / k) at the cost of within-bucket
+/// structure error, so the optimal B balances noise against histogram
+/// detail. The bucket count is chosen by minimizing the DP objective
+///   sum_buckets [ within-bucket SSE of noisy counts - |bucket| * 2/eps^2 ]
+/// which is the standard unbiased estimate of the true reconstruction
+/// error (subtracting the known noise variance 2/eps^2 per merged bin).
+struct NoiseFirstOptions {
+  /// Maximum bucket count explored by the dynamic program; 0 picks
+  /// min(n, 64). The DP is O(n^2 * max_buckets).
+  std::size_t max_buckets = 0;
+};
+
+Result<std::vector<double>> PublishNoiseFirstHistogram(
+    const std::vector<double>& counts, double epsilon, Rng* rng,
+    const NoiseFirstOptions& options = {});
+
+/// The post-processing half (exposed for tests): optimal contiguous
+/// partition of `noisy` into at most `max_buckets` buckets under the
+/// noise-corrected SSE objective, each bucket replaced by its mean.
+std::vector<double> MergeNoisyHistogram(const std::vector<double>& noisy,
+                                        double noise_variance,
+                                        std::size_t max_buckets);
+
+}  // namespace dpcopula::marginals
+
+#endif  // DPCOPULA_MARGINALS_NOISEFIRST_H_

@@ -1,0 +1,58 @@
+#include "marginals/postprocess.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dpcopula::marginals {
+
+std::vector<double> ProjectToSimplex(const std::vector<double>& counts,
+                                     double total) {
+  total = std::max(0.0, total);
+  const std::size_t n = counts.size();
+  if (n == 0) return {};
+
+  // Find tau >= 0 with sum_i max(0, c_i - tau) = total via binary search
+  // over the sorted counts (exact breakpoint search).
+  std::vector<double> sorted = counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  // Positive part at tau = 0.
+  double positive = 0.0;
+  for (double c : sorted) positive += std::max(0.0, c);
+  std::vector<double> out(n);
+  if (positive <= total) {
+    // Cannot shed mass; scale the positive part up to the target instead.
+    const double scale = (positive > 0.0) ? total / positive : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::max(0.0, counts[i]) * scale;
+    }
+    return out;
+  }
+
+  // Walk the sorted counts accumulating prefix sums; for tau between
+  // sorted[k] and sorted[k-1], mass(tau) = prefix_k - k * tau.
+  double prefix = 0.0;
+  double tau = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    prefix += sorted[k - 1];
+    const double next = (k < n) ? std::max(0.0, sorted[k]) : 0.0;
+    // Candidate tau solving prefix - k * tau = total on this segment.
+    const double candidate = (prefix - total) / static_cast<double>(k);
+    if (candidate >= next && candidate <= sorted[k - 1]) {
+      tau = candidate;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::max(0.0, counts[i] - tau);
+  }
+  return out;
+}
+
+std::vector<double> ProjectToNoisyTotal(const std::vector<double>& counts) {
+  const double total =
+      std::accumulate(counts.begin(), counts.end(), 0.0);
+  return ProjectToSimplex(counts, total);
+}
+
+}  // namespace dpcopula::marginals

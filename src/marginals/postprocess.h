@@ -1,0 +1,27 @@
+#ifndef DPCOPULA_MARGINALS_POSTPROCESS_H_
+#define DPCOPULA_MARGINALS_POSTPROCESS_H_
+
+#include <vector>
+
+namespace dpcopula::marginals {
+
+/// Consistency post-processing for noisy histograms (costs no privacy):
+/// Euclidean projection onto { c >= 0, sum(c) = total }. Naively clamping
+/// negative noisy counts at zero injects a large positive bias — at low
+/// epsilon the phantom mass can exceed the real mass — whereas the
+/// projection shifts all counts by a common threshold tau with
+/// c_i' = max(0, c_i - tau) chosen so the mass matches `total`.
+///
+/// If `total` < 0 it is clamped to 0; if the noisy counts cannot reach
+/// `total` even at tau = 0 (their positive part is too small), the positive
+/// part is scaled up to match.
+std::vector<double> ProjectToSimplex(const std::vector<double>& counts,
+                                     double total);
+
+/// Convenience: projects onto the simplex whose total is the (unbiased)
+/// sum of the noisy counts themselves.
+std::vector<double> ProjectToNoisyTotal(const std::vector<double>& counts);
+
+}  // namespace dpcopula::marginals
+
+#endif  // DPCOPULA_MARGINALS_POSTPROCESS_H_

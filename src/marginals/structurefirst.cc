@@ -1,0 +1,94 @@
+#include "marginals/structurefirst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+#include "stats/distributions.h"
+
+namespace dpcopula::marginals {
+
+namespace {
+
+// Sum of |x_i - mean| over [a, b) using the prefix sums for the mean.
+double IntervalL1Error(const std::vector<double>& x,
+                       const std::vector<double>& prefix, std::size_t a,
+                       std::size_t b) {
+  const double len = static_cast<double>(b - a);
+  if (len <= 1.0) return 0.0;
+  const double mean = (prefix[b] - prefix[a]) / len;
+  double err = 0.0;
+  for (std::size_t i = a; i < b; ++i) err += std::fabs(x[i] - mean);
+  return err;
+}
+
+struct Interval {
+  std::size_t lo, hi;  // [lo, hi)
+  int level;
+};
+
+}  // namespace
+
+Result<std::vector<double>> PublishStructureFirstHistogram(
+    const std::vector<double>& counts, double epsilon, Rng* rng,
+    const StructureFirstOptions& options) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("StructureFirst: empty input");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("StructureFirst: epsilon must be > 0");
+  }
+  if (!(options.structure_budget_fraction > 0.0 &&
+        options.structure_budget_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "StructureFirst: structure_budget_fraction must be in (0, 1)");
+  }
+  const std::size_t n = counts.size();
+  int depth = options.depth;
+  if (depth <= 0) {
+    depth = static_cast<int>(
+        std::ceil(std::log2(std::max(2.0, static_cast<double>(n) / 8.0))));
+    depth = std::clamp(depth, 1, 8);
+  }
+  const double eps_structure = epsilon * options.structure_budget_fraction;
+  const double eps_count = epsilon - eps_structure;
+  const double eps_per_level = eps_structure / static_cast<double>(depth);
+
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + counts[i];
+
+  std::vector<Interval> work = {{0, n, 0}};
+  std::vector<Interval> buckets;
+  while (!work.empty()) {
+    Interval iv = work.back();
+    work.pop_back();
+    if (iv.level >= depth || iv.hi - iv.lo <= 1) {
+      buckets.push_back(iv);
+      continue;
+    }
+    // Score every interior cut (1-d margins are small, so the quadratic
+    // cost is fine here, unlike the multi-dim P-HP case).
+    std::vector<double> scores(iv.hi - iv.lo - 1);
+    for (std::size_t c = iv.lo + 1; c < iv.hi; ++c) {
+      scores[c - iv.lo - 1] = -(IntervalL1Error(counts, prefix, iv.lo, c) +
+                                IntervalL1Error(counts, prefix, c, iv.hi));
+    }
+    DPC_ASSIGN_OR_RETURN(std::size_t pick,
+                         dp::ExponentialMechanism(rng, scores, eps_per_level,
+                                                  /*sensitivity=*/2.0));
+    const std::size_t cut = iv.lo + 1 + pick;
+    work.push_back({iv.lo, cut, iv.level + 1});
+    work.push_back({cut, iv.hi, iv.level + 1});
+  }
+
+  std::vector<double> out(n, 0.0);
+  for (const Interval& b : buckets) {
+    const double total = prefix[b.hi] - prefix[b.lo];
+    const double noisy = total + stats::SampleLaplace(rng, 1.0 / eps_count);
+    const double per_bin = noisy / static_cast<double>(b.hi - b.lo);
+    for (std::size_t i = b.lo; i < b.hi; ++i) out[i] = per_bin;
+  }
+  return out;
+}
+
+}  // namespace dpcopula::marginals

@@ -1,0 +1,38 @@
+#ifndef DPCOPULA_MARGINALS_STRUCTUREFIRST_H_
+#define DPCOPULA_MARGINALS_STRUCTUREFIRST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace dpcopula::marginals {
+
+/// StructureFirst (Xu et al., ICDE 2012 [41]) — the dual of NoiseFirst:
+/// first choose the histogram *structure* (bucket boundaries) privately,
+/// then add noise to the bucket totals.
+///
+/// Structure: recursive bisection of the count vector; each cut is chosen
+/// by the exponential mechanism scoring the negative within-part L1
+/// deviation from the part means (sensitivity 2 — one record moves one
+/// count by 1, which moves the deviation sum by at most 2), with the
+/// structure budget split evenly over the recursion levels (cuts at one
+/// level act on disjoint intervals => parallel composition within a level).
+/// Counts: each final bucket total gets Lap(1/eps_count) (buckets disjoint
+/// => parallel composition) and is spread uniformly over its bins.
+struct StructureFirstOptions {
+  /// Recursion depth (final buckets <= 2^depth); 0 selects
+  /// ceil(log2(n / 8)) clamped to [1, 8].
+  int depth = 0;
+  /// Fraction of the budget spent on the structure.
+  double structure_budget_fraction = 0.5;
+};
+
+Result<std::vector<double>> PublishStructureFirstHistogram(
+    const std::vector<double>& counts, double epsilon, Rng* rng,
+    const StructureFirstOptions& options = {});
+
+}  // namespace dpcopula::marginals
+
+#endif  // DPCOPULA_MARGINALS_STRUCTUREFIRST_H_

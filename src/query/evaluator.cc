@@ -1,0 +1,68 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+#include "query/metrics.h"
+
+namespace dpcopula::query {
+
+Result<std::vector<double>> ComputeTrueAnswers(
+    const data::Table& original, const std::vector<RangeQuery>& workload) {
+  std::vector<double> answers;
+  answers.reserve(workload.size());
+  for (const RangeQuery& q : workload) {
+    if (q.lo.size() != original.num_columns()) {
+      return Status::InvalidArgument("query arity does not match table");
+    }
+    std::vector<double> dlo(q.lo.begin(), q.lo.end());
+    std::vector<double> dhi(q.hi.begin(), q.hi.end());
+    answers.push_back(static_cast<double>(original.RangeCount(dlo, dhi)));
+  }
+  return answers;
+}
+
+Result<EvaluationResult> EvaluateWorkloadWithTruth(
+    const std::vector<double>& true_answers,
+    const baselines::RangeCountEstimator& estimator,
+    const std::vector<RangeQuery>& workload, double sanity_bound) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  if (true_answers.size() != workload.size()) {
+    return Status::InvalidArgument("truth/workload size mismatch");
+  }
+  EvaluationResult result;
+  result.num_queries = workload.size();
+  std::vector<double> rel_errors;
+  rel_errors.reserve(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const double actual = true_answers[i];
+    const double noisy =
+        estimator.EstimateRangeCount(workload[i].lo, workload[i].hi);
+    rel_errors.push_back(RelativeError(actual, noisy, sanity_bound));
+    result.mean_absolute_error += AbsoluteError(actual, noisy);
+  }
+  for (double re : rel_errors) result.mean_relative_error += re;
+  result.mean_relative_error /= static_cast<double>(workload.size());
+  result.mean_absolute_error /= static_cast<double>(workload.size());
+  std::nth_element(rel_errors.begin(),
+                   rel_errors.begin() + static_cast<std::ptrdiff_t>(
+                                            rel_errors.size() / 2),
+                   rel_errors.end());
+  result.median_relative_error = rel_errors[rel_errors.size() / 2];
+  return result;
+}
+
+Result<EvaluationResult> EvaluateWorkload(
+    const data::Table& original,
+    const baselines::RangeCountEstimator& estimator,
+    const std::vector<RangeQuery>& workload, double sanity_bound) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  DPC_ASSIGN_OR_RETURN(std::vector<double> truth,
+                       ComputeTrueAnswers(original, workload));
+  return EvaluateWorkloadWithTruth(truth, estimator, workload, sanity_bound);
+}
+
+}  // namespace dpcopula::query

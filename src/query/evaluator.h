@@ -1,0 +1,43 @@
+#ifndef DPCOPULA_QUERY_EVALUATOR_H_
+#define DPCOPULA_QUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "baselines/range_estimator.h"
+#include "common/result.h"
+#include "data/table.h"
+#include "query/workload.h"
+
+namespace dpcopula::query {
+
+/// Aggregate accuracy of one estimator over a workload.
+struct EvaluationResult {
+  double mean_relative_error = 0.0;
+  double mean_absolute_error = 0.0;
+  double median_relative_error = 0.0;
+  std::size_t num_queries = 0;
+};
+
+/// Runs every query in `workload` against the ground-truth `original` table
+/// and the private `estimator`, and aggregates the paper's error metrics
+/// with sanity bound `sanity_bound`.
+Result<EvaluationResult> EvaluateWorkload(
+    const data::Table& original,
+    const baselines::RangeCountEstimator& estimator,
+    const std::vector<RangeQuery>& workload, double sanity_bound);
+
+/// Ground-truth answers for a workload (O(rows) per query). Compute once
+/// and reuse via EvaluateWorkloadWithTruth when scoring several mechanisms
+/// against the same workload — the evaluation harness's dominant cost.
+Result<std::vector<double>> ComputeTrueAnswers(
+    const data::Table& original, const std::vector<RangeQuery>& workload);
+
+/// Same as EvaluateWorkload but with precomputed true answers.
+Result<EvaluationResult> EvaluateWorkloadWithTruth(
+    const std::vector<double>& true_answers,
+    const baselines::RangeCountEstimator& estimator,
+    const std::vector<RangeQuery>& workload, double sanity_bound);
+
+}  // namespace dpcopula::query
+
+#endif  // DPCOPULA_QUERY_EVALUATOR_H_

@@ -1,0 +1,28 @@
+#include "query/experiment_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dpcopula::query {
+
+ExperimentConfig ExperimentConfig::Paper() { return ExperimentConfig{}; }
+
+ExperimentConfig ExperimentConfig::Fast() {
+  ExperimentConfig cfg;
+  cfg.num_tuples = 20000;
+  cfg.queries_per_run = 200;
+  cfg.num_runs = 3;
+  return cfg;
+}
+
+ExperimentConfig ExperimentConfig::FromEnvironment() {
+  const char* full = std::getenv("DPCOPULA_BENCH_FULL");
+  if (full != nullptr && std::strcmp(full, "1") == 0) return Paper();
+  return Fast();
+}
+
+std::string ExperimentConfig::ProfileName() const {
+  return (num_tuples == 50000 && queries_per_run == 1000) ? "paper" : "fast";
+}
+
+}  // namespace dpcopula::query

@@ -1,0 +1,39 @@
+#ifndef DPCOPULA_QUERY_EXPERIMENT_CONFIG_H_
+#define DPCOPULA_QUERY_EXPERIMENT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dpcopula::query {
+
+/// The paper's Table 3 defaults plus the harness scaling profile. Every
+/// bench binary reads one of these and prints which profile is active, so
+/// reported numbers are always attributable to a parameter set.
+struct ExperimentConfig {
+  std::int64_t num_tuples = 50000;   // n
+  double epsilon = 1.0;              // privacy budget
+  std::size_t num_dimensions = 8;    // m
+  double sanity_bound = 1.0;         // s
+  double budget_ratio_k = 8.0;       // k = eps1/eps2
+  std::int64_t domain_size = 1000;   // |A_i|
+  std::size_t queries_per_run = 1000;
+  std::size_t num_runs = 5;
+  std::uint64_t seed = 20140324;     // EDBT 2014 start date.
+
+  /// Paper-scale configuration (Table 3).
+  static ExperimentConfig Paper();
+
+  /// Scaled-down profile for quick bench runs: fewer queries/runs and a
+  /// smaller n, preserving error *trends* (see DESIGN.md §3.4).
+  static ExperimentConfig Fast();
+
+  /// Fast() unless the environment variable DPCOPULA_BENCH_FULL=1 selects
+  /// Paper().
+  static ExperimentConfig FromEnvironment();
+
+  std::string ProfileName() const;
+};
+
+}  // namespace dpcopula::query
+
+#endif  // DPCOPULA_QUERY_EXPERIMENT_CONFIG_H_

@@ -1,0 +1,24 @@
+#include "query/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpcopula::query {
+
+double RelativeError(double actual, double noisy, double sanity_bound) {
+  return std::fabs(noisy - actual) / std::max(actual, sanity_bound);
+}
+
+double AbsoluteError(double actual, double noisy) {
+  return std::fabs(noisy - actual);
+}
+
+double DefaultSanityBound() { return 1.0; }
+
+double UsCensusSanityBound(std::int64_t cardinality) {
+  return 0.0005 * static_cast<double>(cardinality);
+}
+
+double BrazilSanityBound() { return 10.0; }
+
+}  // namespace dpcopula::query

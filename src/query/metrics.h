@@ -1,0 +1,23 @@
+#ifndef DPCOPULA_QUERY_METRICS_H_
+#define DPCOPULA_QUERY_METRICS_H_
+
+#include <cstdint>
+
+namespace dpcopula::query {
+
+/// Relative error with the paper's sanity bound s (§5.1):
+///   RE(q) = |noisy - actual| / max(actual, s).
+double RelativeError(double actual, double noisy, double sanity_bound);
+
+/// Absolute error |noisy - actual|.
+double AbsoluteError(double actual, double noisy);
+
+/// The paper's sanity bound conventions: 1 for most datasets, 0.05% of the
+/// cardinality for the US census, 10 for the Brazil census.
+double DefaultSanityBound();
+double UsCensusSanityBound(std::int64_t cardinality);
+double BrazilSanityBound();
+
+}  // namespace dpcopula::query
+
+#endif  // DPCOPULA_QUERY_METRICS_H_

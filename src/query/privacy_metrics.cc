@@ -1,0 +1,138 @@
+#include "query/privacy_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dpcopula::query {
+
+namespace {
+
+// Normalized L1 distance between row r1 of a and row r2 of b; attributes
+// are scaled by their domain sizes so each contributes in [0, 1].
+double RowDistance(const data::Table& a, std::size_t r1, const data::Table& b,
+                   std::size_t r2, const std::vector<double>& inv_domain,
+                   std::size_t skip_column = static_cast<std::size_t>(-1)) {
+  double d = 0.0;
+  for (std::size_t j = 0; j < a.num_columns(); ++j) {
+    if (j == skip_column) continue;
+    d += std::fabs(a.at(r1, j) - b.at(r2, j)) * inv_domain[j];
+  }
+  return d;
+}
+
+std::vector<double> InverseDomains(const data::Schema& schema) {
+  std::vector<double> inv(schema.num_attributes());
+  for (std::size_t j = 0; j < inv.size(); ++j) {
+    inv[j] = 1.0 / static_cast<double>(
+                       std::max<std::int64_t>(1, schema.attribute(j)
+                                                     .domain_size - 1));
+  }
+  return inv;
+}
+
+// Evenly spaced row subsample of size <= max_rows.
+std::vector<std::size_t> SubsampleRows(std::size_t n, std::size_t max_rows) {
+  std::vector<std::size_t> rows;
+  if (n <= max_rows) {
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  } else {
+    rows.resize(max_rows);
+    for (std::size_t i = 0; i < max_rows; ++i) {
+      rows[i] = i * n / max_rows;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<DcrStats> DistanceToClosestRecord(const data::Table& synthetic,
+                                         const data::Table& reference,
+                                         std::size_t max_rows) {
+  if (!(synthetic.schema() == reference.schema())) {
+    return Status::InvalidArgument("DCR: schema mismatch");
+  }
+  if (synthetic.num_rows() == 0 || reference.num_rows() == 0) {
+    return Status::InvalidArgument("DCR: empty table");
+  }
+  const auto inv = InverseDomains(synthetic.schema());
+  const auto synth_rows = SubsampleRows(synthetic.num_rows(), max_rows);
+  const auto ref_rows = SubsampleRows(reference.num_rows(), max_rows);
+
+  std::vector<double> dcr;
+  dcr.reserve(synth_rows.size());
+  for (std::size_t s : synth_rows) {
+    double best = 1e300;
+    for (std::size_t r : ref_rows) {
+      best = std::min(best, RowDistance(synthetic, s, reference, r, inv));
+      if (best == 0.0) break;
+    }
+    dcr.push_back(best);
+  }
+  std::sort(dcr.begin(), dcr.end());
+  DcrStats stats;
+  for (double d : dcr) {
+    stats.mean += d;
+    if (d == 0.0) stats.frac_zero += 1.0;
+  }
+  stats.mean /= static_cast<double>(dcr.size());
+  stats.frac_zero /= static_cast<double>(dcr.size());
+  stats.median = dcr[dcr.size() / 2];
+  stats.p05 = dcr[static_cast<std::size_t>(
+      0.05 * static_cast<double>(dcr.size() - 1))];
+  return stats;
+}
+
+Result<double> AttributeDisclosureRisk(const data::Table& synthetic,
+                                       const data::Table& original,
+                                       std::size_t target_column,
+                                       std::size_t max_rows) {
+  if (!(synthetic.schema() == original.schema())) {
+    return Status::InvalidArgument("disclosure: schema mismatch");
+  }
+  if (target_column >= original.num_columns()) {
+    return Status::OutOfRange("disclosure: target column out of range");
+  }
+  if (synthetic.num_rows() == 0 || original.num_rows() == 0) {
+    return Status::InvalidArgument("disclosure: empty table");
+  }
+  const auto inv = InverseDomains(original.schema());
+  const auto victims = SubsampleRows(original.num_rows(), max_rows);
+  const auto synth_rows = SubsampleRows(synthetic.num_rows(), max_rows);
+
+  double hits = 0.0;
+  for (std::size_t v : victims) {
+    double best = 1e300;
+    double guess = 0.0;
+    for (std::size_t s : synth_rows) {
+      const double d =
+          RowDistance(original, v, synthetic, s, inv, target_column);
+      if (d < best) {
+        best = d;
+        guess = synthetic.at(s, target_column);
+      }
+    }
+    if (guess == original.at(v, target_column)) hits += 1.0;
+  }
+  return hits / static_cast<double>(victims.size());
+}
+
+Result<double> MajorityGuessAccuracy(const data::Table& original,
+                                     std::size_t target_column) {
+  if (target_column >= original.num_columns()) {
+    return Status::OutOfRange("majority: target column out of range");
+  }
+  if (original.num_rows() == 0) {
+    return Status::InvalidArgument("majority: empty table");
+  }
+  std::map<double, std::size_t> counts;
+  for (double v : original.column(target_column)) ++counts[v];
+  std::size_t best = 0;
+  for (const auto& [value, count] : counts) best = std::max(best, count);
+  return static_cast<double>(best) /
+         static_cast<double>(original.num_rows());
+}
+
+}  // namespace dpcopula::query

@@ -1,0 +1,79 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpcopula::query {
+
+std::vector<RangeQuery> RandomWorkload(const data::Schema& schema,
+                                       std::size_t count, Rng* rng) {
+  const std::size_t m = schema.num_attributes();
+  std::vector<RangeQuery> queries(count);
+  for (auto& q : queries) {
+    q.lo.resize(m);
+    q.hi.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::int64_t domain = schema.attribute(j).domain_size;
+      std::int64_t a = rng->NextInt64InRange(0, domain - 1);
+      std::int64_t b = rng->NextInt64InRange(0, domain - 1);
+      if (a > b) std::swap(a, b);
+      q.lo[j] = a;
+      q.hi[j] = b;
+    }
+  }
+  return queries;
+}
+
+Result<std::vector<RangeQuery>> FixedSizeWorkload(const data::Schema& schema,
+                                                  double range_fraction,
+                                                  std::size_t count,
+                                                  Rng* rng) {
+  if (!(range_fraction > 0.0 && range_fraction <= 1.0)) {
+    return Status::InvalidArgument("range_fraction must be in (0, 1]");
+  }
+  const std::size_t m = schema.num_attributes();
+  std::vector<RangeQuery> queries(count);
+  for (auto& q : queries) {
+    q.lo.resize(m);
+    q.hi.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::int64_t domain = schema.attribute(j).domain_size;
+      auto width = static_cast<std::int64_t>(
+          std::llround(range_fraction * static_cast<double>(domain)));
+      width = std::clamp<std::int64_t>(width, 1, domain);
+      const std::int64_t start =
+          rng->NextInt64InRange(0, domain - width);
+      q.lo[j] = start;
+      q.hi[j] = start + width - 1;
+    }
+  }
+  return queries;
+}
+
+Result<std::vector<RangeQuery>> MarginalWorkload(const data::Schema& schema,
+                                                 std::size_t target_attribute,
+                                                 std::size_t count, Rng* rng) {
+  const std::size_t m = schema.num_attributes();
+  if (target_attribute >= m) {
+    return Status::OutOfRange("MarginalWorkload: attribute out of range");
+  }
+  std::vector<RangeQuery> queries(count);
+  for (auto& q : queries) {
+    q.lo.resize(m);
+    q.hi.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      q.lo[j] = 0;
+      q.hi[j] = schema.attribute(j).domain_size - 1;
+    }
+    const std::int64_t domain =
+        schema.attribute(target_attribute).domain_size;
+    std::int64_t a = rng->NextInt64InRange(0, domain - 1);
+    std::int64_t b = rng->NextInt64InRange(0, domain - 1);
+    if (a > b) std::swap(a, b);
+    q.lo[target_attribute] = a;
+    q.hi[target_attribute] = b;
+  }
+  return queries;
+}
+
+}  // namespace dpcopula::query

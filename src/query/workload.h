@@ -1,0 +1,41 @@
+#ifndef DPCOPULA_QUERY_WORKLOAD_H_
+#define DPCOPULA_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/schema.h"
+
+namespace dpcopula::query {
+
+/// One random range-count query: inclusive per-attribute intervals covering
+/// all attributes (§5.1 Metrics).
+struct RangeQuery {
+  std::vector<std::int64_t> lo;
+  std::vector<std::int64_t> hi;
+};
+
+/// Generates `count` queries with each interval drawn uniformly at random
+/// from the attribute's domain (endpoints sorted).
+std::vector<RangeQuery> RandomWorkload(const data::Schema& schema,
+                                       std::size_t count, Rng* rng);
+
+/// Generates queries whose per-attribute interval length is fixed to
+/// `range_fraction` of each domain (position random) — used by Fig. 8 where
+/// the product of the query ranges is controlled.
+Result<std::vector<RangeQuery>> FixedSizeWorkload(const data::Schema& schema,
+                                                  double range_fraction,
+                                                  std::size_t count, Rng* rng);
+
+/// Generates 1-d marginal queries: a random interval on attribute
+/// `target_attribute` with every other attribute unconstrained (full
+/// domain). Useful for attributing error to individual margins.
+Result<std::vector<RangeQuery>> MarginalWorkload(const data::Schema& schema,
+                                                 std::size_t target_attribute,
+                                                 std::size_t count, Rng* rng);
+
+}  // namespace dpcopula::query
+
+#endif  // DPCOPULA_QUERY_WORKLOAD_H_

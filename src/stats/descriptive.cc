@@ -1,0 +1,89 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dpcopula::stats {
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  return std::accumulate(x.begin(), x.end(), 0.0) /
+         static_cast<double>(x.size());
+}
+
+double Variance(const std::vector<double>& x) {
+  if (x.size() < 2) return 0.0;
+  const double mu = Mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+double StdDev(const std::vector<double>& x) { return std::sqrt(Variance(x)); }
+
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("PearsonCorrelation: size mismatch");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("PearsonCorrelation: need >= 2 points");
+  }
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return Status::NumericalError("PearsonCorrelation: constant input");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && x[order[j]] == x[order[i]]) ++j;
+    // Positions i..j-1 share the average of ranks i+1..j.
+    const double avg = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) ranks[order[k]] = avg;
+    i = j;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("SpearmanCorrelation: size mismatch");
+  }
+  return PearsonCorrelation(AverageRanks(x), AverageRanks(y));
+}
+
+Result<double> Quantile(std::vector<double> x, double p) {
+  if (x.empty()) return Status::InvalidArgument("Quantile: empty input");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("Quantile: p outside [0, 1]");
+  }
+  std::sort(x.begin(), x.end());
+  const double pos = p * static_cast<double>(x.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+}  // namespace dpcopula::stats

@@ -1,0 +1,35 @@
+#ifndef DPCOPULA_STATS_DESCRIPTIVE_H_
+#define DPCOPULA_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpcopula::stats {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& x);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double Variance(const std::vector<double>& x);
+
+double StdDev(const std::vector<double>& x);
+
+/// Pearson product-moment correlation; error if sizes differ, n < 2, or a
+/// vector is constant.
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson over average ranks).
+Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Average ranks (1-based, ties get the mean of the ranks they span).
+std::vector<double> AverageRanks(const std::vector<double>& x);
+
+/// p-quantile via linear interpolation of the sorted sample, p in [0, 1].
+Result<double> Quantile(std::vector<double> x, double p);
+
+}  // namespace dpcopula::stats
+
+#endif  // DPCOPULA_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,228 @@
+#include "stats/distributions.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dpcopula::stats {
+
+double SampleLaplace(Rng* rng, double scale) {
+  assert(scale > 0.0);
+  // Inverse CDF: u uniform on (-1/2, 1/2), x = -scale * sgn(u) * ln(1-2|u|).
+  const double u = rng->NextDoubleOpen() - 0.5;
+  const double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double SampleExponential(Rng* rng, double rate) {
+  assert(rate > 0.0);
+  return -std::log(rng->NextDoubleOpen()) / rate;
+}
+
+double SampleGamma(Rng* rng, double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    const double u = rng->NextDoubleOpen();
+    return SampleGamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng->NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextDoubleOpen();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double SampleStudentT(Rng* rng, double dof) {
+  assert(dof > 0.0);
+  const double z = rng->NextGaussian();
+  const double chi2 = 2.0 * SampleGamma(rng, dof / 2.0, 1.0);
+  return z / std::sqrt(chi2 / dof);
+}
+
+std::vector<double> MakeZipfCdf(std::size_t n, double s) {
+  assert(n > 0);
+  std::vector<double> cdf(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    cdf[k - 1] = acc;
+  }
+  for (double& v : cdf) v /= acc;
+  cdf[n - 1] = 1.0;  // Guard against round-off at the tail.
+  return cdf;
+}
+
+std::size_t SampleZipf(Rng* rng, const std::vector<double>& zipf_cdf) {
+  const double u = rng->NextDouble();
+  // Binary search for the first index with cdf >= u.
+  std::size_t lo = 0, hi = zipf_cdf.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (zipf_cdf[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;  // Ranks are 1-based.
+}
+
+double LaplaceCdf(double x, double scale) {
+  if (x < 0.0) return 0.5 * std::exp(x / scale);
+  return 1.0 - 0.5 * std::exp(-x / scale);
+}
+
+double ExponentialCdf(double x, double rate) {
+  return (x <= 0.0) ? 0.0 : 1.0 - std::exp(-rate * x);
+}
+
+double RegularizedGammaP(double shape, double x) {
+  if (x <= 0.0) return 0.0;
+  const double lg = std::lgamma(shape);
+  if (x < shape + 1.0) {
+    // Series expansion.
+    double term = 1.0 / shape;
+    double sum = term;
+    double a = shape;
+    for (int i = 0; i < 500; ++i) {
+      a += 1.0;
+      term *= x / a;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+    }
+    return sum * std::exp(-x + shape * std::log(x) - lg);
+  }
+  // Continued fraction for Q = 1 - P (Lentz's algorithm).
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - shape;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - shape);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  const double q = std::exp(-x + shape * std::log(x) - lg) * h;
+  return 1.0 - q;
+}
+
+double GammaCdf(double x, double shape, double scale) {
+  return RegularizedGammaP(shape, x / scale);
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  const double front =
+      std::exp(a * std::log(x) + b * std::log(1.0 - x) - ln_beta);
+
+  // Use the symmetry relation for faster convergence.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x);
+  }
+
+  // Lentz continued fraction.
+  constexpr double kTiny = 1e-300;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m < 500; ++m) {
+    const double dm = static_cast<double>(m);
+    // Even step.
+    double num = dm * (b - dm) * x / ((a + 2.0 * dm - 1.0) * (a + 2.0 * dm));
+    d = 1.0 + num * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + num / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    num = -(a + dm) * (a + b + dm) * x /
+          ((a + 2.0 * dm) * (a + 2.0 * dm + 1.0));
+    d = 1.0 + num * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + num / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return front * h / a;
+}
+
+double StudentTCdf(double x, double dof) {
+  if (x == 0.0) return 0.5;
+  const double t2 = x * x;
+  const double ib =
+      RegularizedIncompleteBeta(dof / 2.0, 0.5, dof / (dof + t2));
+  return (x > 0.0) ? 1.0 - 0.5 * ib : 0.5 * ib;
+}
+
+double StudentTPdf(double x, double dof) {
+  const double c = std::lgamma((dof + 1.0) / 2.0) - std::lgamma(dof / 2.0) -
+                   0.5 * std::log(dof * M_PI);
+  return std::exp(c - (dof + 1.0) / 2.0 * std::log1p(x * x / dof));
+}
+
+double StudentTInverseCdf(double p, double dof) {
+  if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p == 0.0) return -std::numeric_limits<double>::infinity();
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+  if (p == 0.5) return 0.0;
+  // Symmetry: solve in the upper half only.
+  if (p < 0.5) return -StudentTInverseCdf(1.0 - p, dof);
+
+  // Bracket [0, hi] by doubling, then bisect; a couple of Newton steps
+  // polish to near machine precision.
+  double lo = 0.0, hi = 1.0;
+  while (StudentTCdf(hi, dof) < p && hi < 1e300) hi *= 2.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-14 * (1.0 + hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, dof) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  double x = 0.5 * (lo + hi);
+  for (int i = 0; i < 3; ++i) {
+    const double f = StudentTCdf(x, dof) - p;
+    const double d = StudentTPdf(x, dof);
+    if (d <= 0.0) break;
+    x -= f / d;
+  }
+  return x;
+}
+
+double SampleChiSquared(Rng* rng, double dof) {
+  return 2.0 * SampleGamma(rng, dof / 2.0, 1.0);
+}
+
+}  // namespace dpcopula::stats

@@ -1,0 +1,62 @@
+#ifndef DPCOPULA_STATS_DISTRIBUTIONS_H_
+#define DPCOPULA_STATS_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpcopula::stats {
+
+/// Samplers and distribution functions used for synthetic margins (paper
+/// Figs. 3 and 9) and for the Laplace mechanism. All samplers take an
+/// explicit Rng so experiments are reproducible.
+
+/// Laplace(0, scale) deviate via inverse-CDF; scale > 0.
+double SampleLaplace(Rng* rng, double scale);
+
+/// Exponential(rate) deviate; rate > 0.
+double SampleExponential(Rng* rng, double rate);
+
+/// Gamma(shape, scale) deviate via Marsaglia–Tsang (with Ahrens-style
+/// boosting for shape < 1); shape > 0, scale > 0.
+double SampleGamma(Rng* rng, double shape, double scale);
+
+/// Student-t deviate with `dof` degrees of freedom (normal / sqrt(chi2/dof)).
+double SampleStudentT(Rng* rng, double dof);
+
+/// Zipf-distributed integer in [1, n] with exponent `s` (P(k) ~ k^-s),
+/// sampled by inverting the discrete CDF (precompute with MakeZipfCdf for
+/// bulk sampling).
+std::vector<double> MakeZipfCdf(std::size_t n, double s);
+std::size_t SampleZipf(Rng* rng, const std::vector<double>& zipf_cdf);
+
+/// CDFs of the continuous margins above (needed when tests validate
+/// probability-integral transforms).
+double LaplaceCdf(double x, double scale);
+double ExponentialCdf(double x, double rate);
+
+/// Regularized lower incomplete gamma P(shape, x); used by GammaCdf.
+double RegularizedGammaP(double shape, double x);
+double GammaCdf(double x, double shape, double scale);
+
+/// Student-t CDF with `dof` degrees of freedom via the regularized
+/// incomplete beta function.
+double StudentTCdf(double x, double dof);
+
+/// Inverse Student-t CDF for p in (0, 1): bisection on StudentTCdf refined
+/// with Newton steps; accurate to ~1e-12. Returns +/-inf at p = 1 / 0.
+double StudentTInverseCdf(double p, double dof);
+
+/// Student-t density with `dof` degrees of freedom.
+double StudentTPdf(double x, double dof);
+
+/// Chi-squared(dof) deviate (2 * Gamma(dof/2, 1)).
+double SampleChiSquared(Rng* rng, double dof);
+
+/// Regularized incomplete beta I_x(a, b) (continued fraction expansion).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace dpcopula::stats
+
+#endif  // DPCOPULA_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,76 @@
+#include "stats/empirical_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpcopula::stats {
+
+Result<EmpiricalCdf> EmpiricalCdf::FromCounts(
+    const std::vector<double>& counts) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("EmpiricalCdf: empty count vector");
+  }
+  EmpiricalCdf cdf;
+  cdf.cumulative_.resize(counts.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    acc += std::max(0.0, counts[i]);  // Clamp noisy negatives.
+    cdf.cumulative_[i] = acc;
+  }
+  cdf.total_ = acc;
+  if (acc <= 0.0) {
+    // Degenerate histogram: fall back to uniform so downstream sampling
+    // stays well-defined.
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cdf.cumulative_[i] = static_cast<double>(i + 1);
+    }
+    cdf.total_ = static_cast<double>(counts.size());
+  }
+  return cdf;
+}
+
+Result<EmpiricalCdf> EmpiricalCdf::FromData(const std::vector<double>& values,
+                                            std::int64_t domain_size) {
+  if (domain_size <= 0) {
+    return Status::InvalidArgument("EmpiricalCdf: domain_size must be > 0");
+  }
+  std::vector<double> counts(static_cast<std::size_t>(domain_size), 0.0);
+  for (double v : values) {
+    const auto idx = static_cast<std::int64_t>(std::llround(v));
+    if (idx < 0 || idx >= domain_size) {
+      return Status::OutOfRange("EmpiricalCdf: value outside domain");
+    }
+    counts[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  return FromCounts(counts);
+}
+
+double EmpiricalCdf::Evaluate(double x) const {
+  if (x < 0.0) return 0.0;
+  auto idx = static_cast<std::int64_t>(std::floor(x));
+  if (idx >= domain_size()) idx = domain_size() - 1;
+  return cumulative_[static_cast<std::size_t>(idx)] / (total_ + 1.0);
+}
+
+double EmpiricalCdf::EvaluateMid(double x) const {
+  auto idx = static_cast<std::int64_t>(std::floor(x));
+  idx = std::clamp<std::int64_t>(idx, 0, domain_size() - 1);
+  const double upper = cumulative_[static_cast<std::size_t>(idx)];
+  const double lower =
+      (idx == 0) ? 0.0 : cumulative_[static_cast<std::size_t>(idx - 1)];
+  const double mid = 0.5 * (lower + upper);
+  // (mid + 0.5) / (total + 1) lies strictly in (0, 1) even for boundary
+  // values of a one-bin histogram.
+  return (mid + 0.5) / (total_ + 1.0);
+}
+
+std::int64_t EmpiricalCdf::InverseCdf(double u) const {
+  const double target = std::clamp(u, 0.0, 1.0) * (total_ + 1.0);
+  // First index with cumulative >= target.
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) return domain_size() - 1;
+  return static_cast<std::int64_t>(it - cumulative_.begin());
+}
+
+}  // namespace dpcopula::stats

@@ -1,0 +1,58 @@
+#ifndef DPCOPULA_STATS_EMPIRICAL_CDF_H_
+#define DPCOPULA_STATS_EMPIRICAL_CDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpcopula::stats {
+
+/// Empirical distribution of a discrete attribute with domain {0, ..., A-1},
+/// represented by (possibly noisy, possibly negative) per-value histogram
+/// counts. Supports the two operations DPCopula needs:
+///   - Evaluate(x): F(x) = P(X <= x), with the paper's n+1 normalization so
+///     pseudo-copula values stay strictly inside (0, 1) (Eq. 2);
+///   - InverseCdf(u): smallest domain value x with F(x) >= u (Alg. 3 step 2).
+///
+/// Noisy counts are clamped at zero during construction (consistency
+/// post-processing); an all-zero histogram degenerates to the uniform
+/// distribution so sampling stays well-defined.
+class EmpiricalCdf {
+ public:
+  /// Builds from per-value counts over domain {0, ..., counts.size()-1}.
+  static Result<EmpiricalCdf> FromCounts(const std::vector<double>& counts);
+
+  /// Builds from raw data values in [0, domain_size).
+  static Result<EmpiricalCdf> FromData(const std::vector<double>& values,
+                                       std::int64_t domain_size);
+
+  /// Domain size A.
+  std::int64_t domain_size() const {
+    return static_cast<std::int64_t>(cumulative_.size());
+  }
+
+  /// Total (clamped) mass the CDF was built from.
+  double total_count() const { return total_; }
+
+  /// F(x) with the n+1 convention: sum_{v <= x} count(v) / (total + 1).
+  /// Values below the domain map to 0, above to total/(total+1).
+  double Evaluate(double x) const;
+
+  /// Midpoint variant used to build pseudo-copula observations with better
+  /// centering for discrete data: (C(x-1) + C(x)) / 2 / (total + 1) where C
+  /// is the cumulative count. Guaranteed in (0, 1).
+  double EvaluateMid(double x) const;
+
+  /// Smallest x in the domain with F(x) >= u, for u in [0, 1]. u above the
+  /// attainable maximum returns the largest domain value.
+  std::int64_t InverseCdf(double u) const;
+
+ private:
+  std::vector<double> cumulative_;  // cumulative_[i] = sum counts[0..i]
+  double total_ = 0.0;
+};
+
+}  // namespace dpcopula::stats
+
+#endif  // DPCOPULA_STATS_EMPIRICAL_CDF_H_

@@ -1,0 +1,149 @@
+#include "stats/kendall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dpcopula::stats {
+
+namespace {
+
+std::uint64_t MergeCountInversions(std::vector<double>* values,
+                                   std::vector<double>* scratch,
+                                   std::size_t lo, std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::uint64_t count = MergeCountInversions(values, scratch, lo, mid) +
+                        MergeCountInversions(values, scratch, mid, hi);
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if ((*values)[j] < (*values)[i]) {
+      // Element from the right half precedes mid - i remaining left
+      // elements: each forms an inversion.
+      count += mid - i;
+      (*scratch)[k++] = (*values)[j++];
+    } else {
+      (*scratch)[k++] = (*values)[i++];
+    }
+  }
+  while (i < mid) (*scratch)[k++] = (*values)[i++];
+  while (j < hi) (*scratch)[k++] = (*values)[j++];
+  std::copy(scratch->begin() + static_cast<std::ptrdiff_t>(lo),
+            scratch->begin() + static_cast<std::ptrdiff_t>(hi),
+            values->begin() + static_cast<std::ptrdiff_t>(lo));
+  return count;
+}
+
+// Sum over groups of equal values of C(group_size, 2). `values` must be
+// sorted (or grouped) by the caller.
+std::uint64_t TiedPairs(const std::vector<double>& sorted) {
+  std::uint64_t ties = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i + 1;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    const std::uint64_t g = j - i;
+    ties += g * (g - 1) / 2;
+    i = j;
+  }
+  return ties;
+}
+
+}  // namespace
+
+std::uint64_t CountInversions(std::vector<double> values) {
+  std::vector<double> scratch(values.size());
+  return MergeCountInversions(&values, &scratch, 0, values.size());
+}
+
+Result<double> KendallTau(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("KendallTau: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 2) {
+    return Status::InvalidArgument("KendallTau needs at least 2 points");
+  }
+
+  // Sort indices by (x, y).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = x[order[i]];
+    ys[i] = y[order[i]];
+  }
+
+  // Pairs tied on x (including tied on both).
+  std::uint64_t ties_x = 0;
+  std::uint64_t ties_xy = 0;
+  {
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && xs[j] == xs[i]) ++j;
+      const std::uint64_t g = j - i;
+      ties_x += g * (g - 1) / 2;
+      // Within an x-group, count pairs also tied on y.
+      std::vector<double> group(ys.begin() + static_cast<std::ptrdiff_t>(i),
+                                ys.begin() + static_cast<std::ptrdiff_t>(j));
+      std::sort(group.begin(), group.end());
+      ties_xy += TiedPairs(group);
+      i = j;
+    }
+  }
+
+  // Discordant pairs among x-distinct pairs = inversions of y in x-order
+  // (pairs with equal x contribute no inversion because their y's are sorted
+  // ascending within the group).
+  const std::uint64_t inversions = CountInversions(ys);
+
+  // Pairs tied on y overall.
+  std::vector<double> y_sorted = ys;
+  std::sort(y_sorted.begin(), y_sorted.end());
+  const std::uint64_t ties_y = TiedPairs(y_sorted);
+
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // Concordant + discordant = total - (tied on x only) - (tied on y only)
+  //                         - (tied on both); inclusion–exclusion:
+  const std::uint64_t tied_any = ties_x + ties_y - ties_xy;
+  const std::uint64_t discordant = inversions;
+  const std::uint64_t concordant = total - tied_any - discordant;
+
+  // tau-a denominator C(n, 2) per the paper's Definition 3.5.
+  const double tau = (static_cast<double>(concordant) -
+                      static_cast<double>(discordant)) /
+                     static_cast<double>(total);
+  return tau;
+}
+
+Result<double> KendallTauBruteForce(const std::vector<double>& x,
+                                    const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("KendallTau: size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 2) {
+    return Status::InvalidArgument("KendallTau needs at least 2 points");
+  }
+  std::int64_t net = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double prod = dx * dy;
+      if (prod > 0.0) ++net;
+      if (prod < 0.0) --net;
+    }
+  }
+  const double total = static_cast<double>(n) * (n - 1) / 2.0;
+  return static_cast<double>(net) / total;
+}
+
+}  // namespace dpcopula::stats

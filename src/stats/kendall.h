@@ -1,0 +1,31 @@
+#ifndef DPCOPULA_STATS_KENDALL_H_
+#define DPCOPULA_STATS_KENDALL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dpcopula::stats {
+
+/// Sample Kendall's tau-a rank correlation (Definition 3.5 of the paper):
+///   tau = (n_c - n_d) / C(n, 2)
+/// where n_c / n_d count concordant / discordant pairs; tied pairs count as
+/// neither. This is the estimator whose sensitivity the paper bounds by
+/// 4/(n+1) (Lemma 4.1).
+
+/// O(n log n) implementation (Knight's algorithm: sort by x, count
+/// discordant pairs as merge-sort inversions on y, correct for ties).
+Result<double> KendallTau(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// O(n^2) brute-force reference; used in tests and for tiny inputs.
+Result<double> KendallTauBruteForce(const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+/// Counts inversions in `values` by merge sort (exposed for testing).
+std::uint64_t CountInversions(std::vector<double> values);
+
+}  // namespace dpcopula::stats
+
+#endif  // DPCOPULA_STATS_KENDALL_H_

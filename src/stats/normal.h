@@ -1,0 +1,20 @@
+#ifndef DPCOPULA_STATS_NORMAL_H_
+#define DPCOPULA_STATS_NORMAL_H_
+
+namespace dpcopula::stats {
+
+/// Standard normal density phi(x).
+double NormalPdf(double x);
+
+/// Standard normal CDF Phi(x), accurate to ~1e-15 via erfc.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF Phi^{-1}(p) for p in (0, 1).
+/// Acklam's rational approximation refined with one Halley step, giving
+/// ~1e-15 relative accuracy over the full open interval. Returns +/-inf at
+/// p = 1 / p = 0 and NaN outside [0, 1].
+double NormalInverseCdf(double p);
+
+}  // namespace dpcopula::stats
+
+#endif  // DPCOPULA_STATS_NORMAL_H_

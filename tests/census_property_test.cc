@@ -1,0 +1,140 @@
+// Realism properties of the census simulators (DESIGN.md §3 substitution
+// 1): beyond matching Table 2's schemas, the generated margins must show
+// the structural features real census extracts have — income heaping at
+// round values, jagged occupation codes, a population-pyramid age profile —
+// because those features are exactly what separates the mechanisms under
+// comparison.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/census.h"
+#include "stats/kendall.h"
+
+namespace dpcopula::data {
+namespace {
+
+std::vector<double> ColumnHistogram(const Table& t, std::size_t col) {
+  std::vector<double> h(
+      static_cast<std::size_t>(t.schema().attribute(col).domain_size), 0.0);
+  for (double v : t.column(col)) h[static_cast<std::size_t>(v)] += 1.0;
+  return h;
+}
+
+class CensusPropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(8001);
+    us_ = new Table(*GenerateUsCensus(60000, &rng));
+    brazil_ = new Table(*GenerateBrazilCensus(60000, &rng));
+  }
+  static void TearDownTestSuite() {
+    delete us_;
+    delete brazil_;
+    us_ = nullptr;
+    brazil_ = nullptr;
+  }
+  static Table* us_;
+  static Table* brazil_;
+};
+
+Table* CensusPropertyTest::us_ = nullptr;
+Table* CensusPropertyTest::brazil_ = nullptr;
+
+TEST_F(CensusPropertyTest, IncomeHeapsAtRoundValues) {
+  const auto h = ColumnHistogram(*us_, 1);  // Income, domain 1020.
+  // Compare mass at multiples of 100 against their direct neighbors.
+  double round_mass = 0.0, neighbor_mass = 0.0;
+  int buckets = 0;
+  for (std::size_t v = 100; v + 1 < h.size(); v += 100) {
+    round_mass += h[v];
+    neighbor_mass += 0.5 * (h[v - 1] + h[v + 1]);
+    ++buckets;
+  }
+  ASSERT_GT(buckets, 5);
+  EXPECT_GT(round_mass, 1.5 * neighbor_mass);
+}
+
+TEST_F(CensusPropertyTest, OccupationIsJaggedNotMonotone) {
+  const auto h = ColumnHistogram(*us_, 2);  // Occupation, domain 511.
+  // In code order, frequency must not be monotone: count sign changes of
+  // consecutive differences over the populated range.
+  int direction_changes = 0;
+  double prev_diff = 0.0;
+  for (std::size_t v = 1; v < 200; ++v) {
+    const double diff = h[v] - h[v - 1];
+    if (diff * prev_diff < 0.0) ++direction_changes;
+    if (diff != 0.0) prev_diff = diff;
+  }
+  EXPECT_GT(direction_changes, 30);
+  // Yet still heavy-tailed overall: the top code holds ~5%, not 15%+.
+  double mx = 0.0, total = 0.0;
+  for (double c : h) {
+    mx = std::max(mx, c);
+    total += c;
+  }
+  EXPECT_GT(mx / total, 0.02);
+  EXPECT_LT(mx / total, 0.10);
+}
+
+TEST_F(CensusPropertyTest, AgePyramidDeclinesAfter55) {
+  const auto h = ColumnHistogram(*us_, 0);  // Age, domain 96.
+  double mass_30s = 0.0, mass_70s = 0.0;
+  for (std::size_t v = 30; v < 40; ++v) mass_30s += h[v];
+  for (std::size_t v = 70; v < 80; ++v) mass_70s += h[v];
+  EXPECT_GT(mass_30s, 1.5 * mass_70s);
+}
+
+TEST_F(CensusPropertyTest, UsCorrelationSignsMatchDesign) {
+  // Age-income positive, gender-income negative (wage-gap skew).
+  auto age_income = stats::KendallTau(us_->column(0), us_->column(1));
+  auto gender_income = stats::KendallTau(us_->column(3), us_->column(1));
+  EXPECT_GT(*age_income, 0.1);
+  EXPECT_LT(*gender_income, 0.0);
+}
+
+TEST_F(CensusPropertyTest, BrazilBinaryRates) {
+  auto rate = [&](std::size_t col) {
+    double ones = 0.0;
+    for (double v : brazil_->column(col)) ones += v;
+    return ones / static_cast<double>(brazil_->num_rows());
+  };
+  EXPECT_NEAR(rate(1), 0.51, 0.02);  // Gender.
+  EXPECT_NEAR(rate(2), 0.06, 0.02);  // Disability.
+  EXPECT_NEAR(rate(3), 0.12, 0.02);  // Nativity.
+}
+
+TEST_F(CensusPropertyTest, BrazilEducationIsBimodal) {
+  const auto h = ColumnHistogram(*brazil_, 5);  // Education, domain 140.
+  // Peaks near 35 and 95, trough near 70.
+  double peak1 = 0.0, trough = 0.0, peak2 = 0.0;
+  for (std::size_t v = 25; v < 45; ++v) peak1 += h[v];
+  for (std::size_t v = 60; v < 80; ++v) trough += h[v];
+  for (std::size_t v = 85; v < 105; ++v) peak2 += h[v];
+  EXPECT_GT(peak1, trough);
+  EXPECT_GT(peak2, trough);
+}
+
+TEST_F(CensusPropertyTest, BrazilWorkingHoursPeakNearFullTime) {
+  const auto h = ColumnHistogram(*brazil_, 6);  // Hours, domain 95.
+  std::size_t mode = 0;
+  for (std::size_t v = 1; v < h.size(); ++v) {
+    if (h[v] > h[mode]) mode = v;
+  }
+  EXPECT_GE(mode, 30u);
+  EXPECT_LE(mode, 55u);
+}
+
+TEST_F(CensusPropertyTest, BrazilEducationIncomeDependence) {
+  auto tau = stats::KendallTau(brazil_->column(5), brazil_->column(7));
+  EXPECT_GT(*tau, 0.15);
+}
+
+TEST_F(CensusPropertyTest, DisabilityReducesHours) {
+  auto tau = stats::KendallTau(brazil_->column(2), brazil_->column(6));
+  EXPECT_LT(*tau, 0.0);
+}
+
+}  // namespace
+}  // namespace dpcopula::data

@@ -1,0 +1,159 @@
+// Convergence properties (paper §4.3): as the cardinality n grows, the
+// noisy estimates converge to the population quantities — Lemma 4.1
+// (private empirical margins), Lemma 4.2 (private Kendall's tau), and
+// Theorem 4.3 (the synthesized joint distribution). These tests verify the
+// trends empirically at increasing n.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "copula/kendall_estimator.h"
+#include "copula/mle_estimator.h"
+#include "core/dpcopula.h"
+#include "data/generator.h"
+#include "stats/kendall.h"
+
+namespace dpcopula {
+namespace {
+
+data::Table MakeData(std::size_t n, double rho, Rng* rng) {
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Gaussian("a", 200),
+      data::MarginSpec::Gaussian("b", 200)};
+  return *data::GenerateGaussianDependent(
+      specs, *data::Equicorrelation(2, rho), n, rng);
+}
+
+// Mean |rho_hat - rho| of the DP Kendall correlation over repetitions.
+double KendallError(std::size_t n, double epsilon, int reps, Rng* rng) {
+  double err = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    data::Table t = MakeData(n, 0.5, rng);
+    copula::KendallEstimatorOptions opts;
+    opts.subsample = false;
+    auto est = copula::EstimateKendallCorrelation(t, epsilon, rng, opts);
+    err += std::fabs(est->correlation(0, 1) - 0.5);
+  }
+  return err / reps;
+}
+
+TEST(ConvergenceTest, PrivateKendallErrorShrinksWithCardinality) {
+  // Lemma 4.2: the Laplace scale is 4/((n+1) eps), so at fixed epsilon the
+  // correlation error must fall as n grows.
+  Rng rng(7001);
+  const double err_small = KendallError(200, 0.5, 6, &rng);
+  const double err_large = KendallError(8000, 0.5, 6, &rng);
+  EXPECT_LT(err_large, err_small);
+  EXPECT_LT(err_large, 0.1);
+}
+
+TEST(ConvergenceTest, PrivateMarginConvergesWithCardinality) {
+  // Lemma 4.1: the noisy empirical CDF converges to the population CDF.
+  // Measure max CDF deviation of the synthetic margin vs the generator's.
+  Rng rng(7003);
+  auto cdf_error = [&](std::size_t n) {
+    data::Table t = MakeData(n, 0.0, &rng);
+    core::DpCopulaOptions opts;
+    opts.epsilon = 1.0;
+    auto res = core::Synthesize(t, opts, &rng);
+    // Compare empirical CDFs of original vs synthetic column 0.
+    std::vector<double> orig(200, 0.0), synth(200, 0.0);
+    for (double v : t.column(0)) orig[static_cast<std::size_t>(v)] += 1.0;
+    for (double v : res->synthetic.column(0)) {
+      synth[static_cast<std::size_t>(v)] += 1.0;
+    }
+    double co = 0.0, cs = 0.0, max_dev = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) {
+      co += orig[i] / static_cast<double>(t.num_rows());
+      cs += synth[i] / static_cast<double>(res->synthetic.num_rows());
+      max_dev = std::max(max_dev, std::fabs(co - cs));
+    }
+    return max_dev;
+  };
+  double err_small = 0.0, err_large = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    err_small += cdf_error(300);
+    err_large += cdf_error(20000);
+  }
+  EXPECT_LT(err_large, err_small);
+  EXPECT_LT(err_large / 3.0, 0.05);
+}
+
+TEST(ConvergenceTest, SynthesizedTauConvergesToPopulationTau) {
+  // Theorem 4.3 in miniature: the synthetic data's Kendall tau approaches
+  // the population tau (2/pi asin rho) as n grows, at fixed epsilon.
+  Rng rng(7005);
+  const double target = 2.0 / M_PI * std::asin(0.5);
+  auto tau_error = [&](std::size_t n) {
+    double err = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      data::Table t = MakeData(n, 0.5, &rng);
+      core::DpCopulaOptions opts;
+      opts.epsilon = 1.0;
+      opts.kendall.subsample = false;
+      auto res = core::Synthesize(t, opts, &rng);
+      auto tau = stats::KendallTau(res->synthetic.column(0),
+                                   res->synthetic.column(1));
+      err += std::fabs(*tau - target);
+    }
+    return err / 3.0;
+  };
+  const double err_small = tau_error(300);
+  const double err_large = tau_error(20000);
+  EXPECT_LT(err_large, err_small);
+  EXPECT_LT(err_large, 0.08);
+}
+
+TEST(ConvergenceTest, MleErrorShrinksWithCardinality) {
+  // Algorithm 2's averaged-partition noise scale is C(m,2)*2/(l*eps); more
+  // data allows more partitions, so error falls with n.
+  Rng rng(7007);
+  auto mle_error = [&](std::size_t n) {
+    double err = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      data::Table t = MakeData(n, 0.5, &rng);
+      auto est = copula::EstimateMleCorrelation(t, 0.5, &rng);
+      err += std::fabs(est->correlation(0, 1) - 0.5);
+    }
+    return err / 5.0;
+  };
+  EXPECT_LT(mle_error(20000), mle_error(500));
+}
+
+TEST(ConvergenceTest, KendallNoiseScaleMatchesLemma) {
+  // Direct check of the implemented scale: C(m,2) * 4/(n+1) / eps2.
+  Rng rng(7009);
+  data::Table t = MakeData(1000, 0.3, &rng);
+  copula::KendallEstimatorOptions opts;
+  opts.subsample = false;
+  auto est = copula::EstimateKendallCorrelation(t, 0.25, &rng, opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->laplace_scale, 1.0 * (4.0 / 1001.0) / 0.25, 1e-12);
+  EXPECT_NEAR(est->per_pair_epsilon, 0.25, 1e-12);
+}
+
+class EpsilonMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpsilonMonotonicityTest, MoreBudgetNeverHurtsOnAverage) {
+  // Averaged across repetitions, correlation error at eps=10 must be below
+  // error at eps=0.01 (a coarse but important monotonicity sanity check).
+  Rng rng(static_cast<std::uint64_t>(7100 + GetParam()));
+  double err_low = 0.0, err_high = 0.0;
+  for (int rep = 0; rep < 4; ++rep) {
+    data::Table t = MakeData(3000, 0.5, &rng);
+    copula::KendallEstimatorOptions opts;
+    opts.subsample = false;
+    auto low = copula::EstimateKendallCorrelation(t, 0.01, &rng, opts);
+    auto high = copula::EstimateKendallCorrelation(t, 10.0, &rng, opts);
+    err_low += std::fabs(low->correlation(0, 1) - 0.5);
+    err_high += std::fabs(high->correlation(0, 1) - 0.5);
+  }
+  EXPECT_LT(err_high, err_low);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpsilonMonotonicityTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace dpcopula

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "copula/gaussian_copula.h"
+#include "copula/kendall_estimator.h"
+#include "copula/mle_estimator.h"
+#include "copula/pseudo_obs.h"
+#include "copula/sampler.h"
+#include "data/generator.h"
+#include "linalg/cholesky.h"
+#include "stats/kendall.h"
+
+namespace dpcopula::copula {
+namespace {
+
+data::Table CorrelatedTable(std::size_t n, double rho, Rng* rng,
+                            std::int64_t domain = 1000) {
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Gaussian("x", domain),
+      data::MarginSpec::Gaussian("y", domain)};
+  auto corr = data::Equicorrelation(2, rho);
+  auto t = data::GenerateGaussianDependent(specs, *corr, n, rng);
+  return *t;
+}
+
+TEST(PseudoObsTest, ValuesStrictlyInsideUnitInterval) {
+  Rng rng(71);
+  data::Table t = CorrelatedTable(500, 0.5, &rng);
+  auto pseudo = PseudoObservations(t);
+  ASSERT_TRUE(pseudo.ok());
+  ASSERT_EQ(pseudo->size(), 2u);
+  for (const auto& col : *pseudo) {
+    ASSERT_EQ(col.size(), 500u);
+    for (double u : col) {
+      EXPECT_GT(u, 0.0);
+      EXPECT_LT(u, 1.0);
+    }
+  }
+}
+
+TEST(PseudoObsTest, MonotoneInValue) {
+  data::Table t(data::Schema({{"a", 10}}));
+  ASSERT_TRUE(t.AppendRow({0}).ok());
+  ASSERT_TRUE(t.AppendRow({5}).ok());
+  ASSERT_TRUE(t.AppendRow({9}).ok());
+  auto pseudo = PseudoObservations(t);
+  ASSERT_TRUE(pseudo.ok());
+  EXPECT_LT((*pseudo)[0][0], (*pseudo)[0][1]);
+  EXPECT_LT((*pseudo)[0][1], (*pseudo)[0][2]);
+}
+
+TEST(PseudoObsTest, NormalScoresFinite) {
+  Rng rng(73);
+  data::Table t = CorrelatedTable(200, 0.3, &rng);
+  auto pseudo = PseudoObservations(t);
+  ASSERT_TRUE(pseudo.ok());
+  const auto scores = NormalScores(*pseudo);
+  for (const auto& col : scores) {
+    for (double z : col) EXPECT_TRUE(std::isfinite(z));
+  }
+}
+
+TEST(GaussianCopulaTest, IdentityCorrelationHasUnitDensity) {
+  auto c = GaussianCopula::Create(linalg::Matrix::Identity(3));
+  ASSERT_TRUE(c.ok());
+  auto ld = c->LogDensity({0.3, 0.5, 0.9});
+  ASSERT_TRUE(ld.ok());
+  EXPECT_NEAR(*ld, 0.0, 1e-12);  // c_I(u) == 1 everywhere.
+}
+
+TEST(GaussianCopulaTest, RejectsNonCorrelationInput) {
+  linalg::Matrix bad = linalg::Matrix::FromRows({{2.0, 0.0}, {0.0, 1.0}});
+  EXPECT_FALSE(GaussianCopula::Create(bad).ok());
+  linalg::Matrix indef =
+      linalg::Matrix::FromRows({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_FALSE(GaussianCopula::Create(indef).ok());
+}
+
+TEST(GaussianCopulaTest, DensityFavorsConcordantPointsUnderPositiveRho) {
+  auto corr = data::Equicorrelation(2, 0.8);
+  auto c = GaussianCopula::Create(*corr);
+  ASSERT_TRUE(c.ok());
+  const double concordant = *c->LogDensity({0.9, 0.9});
+  const double discordant = *c->LogDensity({0.9, 0.1});
+  EXPECT_GT(concordant, discordant);
+}
+
+TEST(GaussianCopulaTest, LogLikelihoodPeaksNearTrueCorrelation) {
+  Rng rng(79);
+  data::Table t = CorrelatedTable(3000, 0.6, &rng);
+  auto pseudo = PseudoObservations(t);
+  ASSERT_TRUE(pseudo.ok());
+  double best_rho = -2.0, best_ll = -1e300;
+  for (double rho = -0.8; rho <= 0.85; rho += 0.1) {
+    auto corr = data::Equicorrelation(2, rho);
+    auto c = GaussianCopula::Create(*corr);
+    ASSERT_TRUE(c.ok());
+    const double ll = *c->LogLikelihood(*pseudo);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_rho = rho;
+    }
+  }
+  EXPECT_NEAR(best_rho, 0.6, 0.15);
+}
+
+TEST(GaussianCopulaTest, AicPrefersTrueModel) {
+  Rng rng(83);
+  data::Table t = CorrelatedTable(2000, 0.6, &rng);
+  auto pseudo = PseudoObservations(t);
+  ASSERT_TRUE(pseudo.ok());
+  auto good = GaussianCopula::Create(*data::Equicorrelation(2, 0.6));
+  auto bad = GaussianCopula::Create(*data::Equicorrelation(2, -0.6));
+  EXPECT_LT(*good->Aic(*pseudo), *bad->Aic(*pseudo));
+}
+
+TEST(NormalScoresCorrelationTest, RecoversGeneratingCorrelation) {
+  Rng rng(89);
+  data::Table t = CorrelatedTable(5000, 0.7, &rng);
+  auto pseudo = PseudoObservations(t);
+  ASSERT_TRUE(pseudo.ok());
+  auto corr = NormalScoresCorrelation(NormalScores(*pseudo));
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR((*corr)(0, 1), 0.7, 0.05);
+  EXPECT_DOUBLE_EQ((*corr)(0, 0), 1.0);
+}
+
+TEST(NormalScoresCorrelationTest, ValidatesInput) {
+  EXPECT_FALSE(NormalScoresCorrelation({}).ok());
+  EXPECT_FALSE(NormalScoresCorrelation({{1.0}, {1.0}}).ok());
+  EXPECT_FALSE(NormalScoresCorrelation({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(KendallEstimatorTest, AdequateSampleSizeFormula) {
+  // ceil(50 * m(m-1) / eps2).
+  EXPECT_EQ(AdequateKendallSampleSize(2, 1.0), 100);
+  EXPECT_EQ(AdequateKendallSampleSize(8, 0.5), 5600);
+}
+
+TEST(KendallEstimatorTest, HighBudgetRecoversCorrelation) {
+  Rng rng(97);
+  data::Table t = CorrelatedTable(8000, 0.6, &rng);
+  KendallEstimatorOptions opts;
+  opts.subsample = false;
+  auto est = EstimateKendallCorrelation(t, 100.0, &rng, opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->correlation(0, 1), 0.6, 0.05);
+  EXPECT_EQ(est->rows_used, 8000);
+  EXPECT_TRUE(linalg::IsPositiveDefinite(est->correlation));
+}
+
+TEST(KendallEstimatorTest, SubsamplingActivates) {
+  Rng rng(101);
+  data::Table t = CorrelatedTable(50000, 0.5, &rng);
+  KendallEstimatorOptions opts;
+  opts.subsample = true;
+  auto est = EstimateKendallCorrelation(t, 1.0, &rng, opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->rows_used, AdequateKendallSampleSize(2, 1.0));
+  EXPECT_LT(est->rows_used, 50000);
+  // Correlation should still be in the right ballpark.
+  EXPECT_GT(est->correlation(0, 1), 0.0);
+}
+
+TEST(KendallEstimatorTest, TinyBudgetStillYieldsValidCorrelation) {
+  Rng rng(103);
+  data::Table t = CorrelatedTable(500, 0.5, &rng);
+  auto est = EstimateKendallCorrelation(t, 0.001, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(linalg::IsPositiveDefinite(est->correlation));
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(est->correlation(i, i), 1.0, 1e-9);
+  }
+}
+
+TEST(KendallEstimatorTest, ValidatesInput) {
+  Rng rng(107);
+  data::Table t = CorrelatedTable(100, 0.5, &rng);
+  EXPECT_FALSE(EstimateKendallCorrelation(t, 0.0, &rng).ok());
+  auto one_col = t.Project({0});
+  EXPECT_FALSE(EstimateKendallCorrelation(*one_col, 1.0, &rng).ok());
+}
+
+TEST(MleEstimatorTest, PartitionCountFormula) {
+  // ceil(C(m,2) / (0.025 * eps2)).
+  EXPECT_EQ(PaperMlePartitionCount(2, 1.0), 40);
+  EXPECT_EQ(PaperMlePartitionCount(8, 0.5), 2240);
+}
+
+TEST(MleEstimatorTest, HighBudgetRecoversCorrelation) {
+  Rng rng(109);
+  data::Table t = CorrelatedTable(20000, 0.6, &rng);
+  MleEstimatorOptions opts;
+  opts.num_partitions = 40;
+  auto est = EstimateMleCorrelation(t, 50.0, &rng, opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_partitions, 40);
+  EXPECT_EQ(est->rows_per_partition, 500);
+  EXPECT_NEAR(est->correlation(0, 1), 0.6, 0.08);
+}
+
+TEST(MleEstimatorTest, AutoPartitionsClampedForSmallData) {
+  Rng rng(113);
+  data::Table t = CorrelatedTable(300, 0.5, &rng);
+  auto est = EstimateMleCorrelation(t, 0.5, &rng);
+  ASSERT_TRUE(est.ok());
+  // Paper rule would demand 80 partitions of < 4 rows; the clamp must keep
+  // >= min_partition_rows rows in each.
+  EXPECT_GE(est->rows_per_partition, 10);
+  EXPECT_TRUE(linalg::IsPositiveDefinite(est->correlation));
+}
+
+TEST(MleEstimatorTest, ValidatesInput) {
+  Rng rng(127);
+  data::Table t = CorrelatedTable(100, 0.5, &rng);
+  EXPECT_FALSE(EstimateMleCorrelation(t, -1.0, &rng).ok());
+  auto one_col = t.Project({0});
+  EXPECT_FALSE(EstimateMleCorrelation(*one_col, 1.0, &rng).ok());
+}
+
+TEST(SamplerTest, OutputRespectsSchemaAndRowCount) {
+  Rng rng(131);
+  data::Schema schema({{"a", 20}, {"b", 30}});
+  std::vector<stats::EmpiricalCdf> cdfs;
+  cdfs.push_back(*stats::EmpiricalCdf::FromCounts(std::vector<double>(20, 1.0)));
+  cdfs.push_back(*stats::EmpiricalCdf::FromCounts(std::vector<double>(30, 1.0)));
+  auto out = SampleSyntheticData(schema, cdfs, *data::Equicorrelation(2, 0.4),
+                                 1234, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 1234u);
+  EXPECT_TRUE(out->Validate().ok());
+}
+
+TEST(SamplerTest, ValidatesShapes) {
+  Rng rng(137);
+  data::Schema schema({{"a", 20}, {"b", 30}});
+  std::vector<stats::EmpiricalCdf> cdfs;
+  cdfs.push_back(*stats::EmpiricalCdf::FromCounts(std::vector<double>(20, 1.0)));
+  EXPECT_FALSE(SampleSyntheticData(schema, cdfs,
+                                   *data::Equicorrelation(2, 0.4), 10, &rng)
+                   .ok());
+  cdfs.push_back(*stats::EmpiricalCdf::FromCounts(std::vector<double>(7, 1.0)));
+  EXPECT_FALSE(SampleSyntheticData(schema, cdfs,
+                                   *data::Equicorrelation(2, 0.4), 10, &rng)
+                   .ok());
+}
+
+TEST(SamplerTest, PreservesMarginsAndDependence) {
+  Rng rng(139);
+  // Build skewed margins and a strong correlation, then sample and verify
+  // both are reproduced.
+  std::vector<double> counts_a(50), counts_b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    counts_a[i] = static_cast<double>(50 - i);  // Decreasing.
+    counts_b[i] = static_cast<double>(i + 1);   // Increasing.
+  }
+  std::vector<stats::EmpiricalCdf> cdfs;
+  cdfs.push_back(*stats::EmpiricalCdf::FromCounts(counts_a));
+  cdfs.push_back(*stats::EmpiricalCdf::FromCounts(counts_b));
+  data::Schema schema({{"a", 50}, {"b", 50}});
+  const double rho = 0.7;
+  auto out = SampleSyntheticData(schema, cdfs, *data::Equicorrelation(2, rho),
+                                 30000, &rng);
+  ASSERT_TRUE(out.ok());
+  // Margin check: mean of column a should be below 25 (decreasing weights),
+  // column b above.
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t r = 0; r < out->num_rows(); ++r) {
+    mean_a += out->at(r, 0);
+    mean_b += out->at(r, 1);
+  }
+  mean_a /= 30000.0;
+  mean_b /= 30000.0;
+  EXPECT_LT(mean_a, 21.0);
+  EXPECT_GT(mean_b, 29.0);
+  // Dependence check via Kendall's tau.
+  auto tau = stats::KendallTau(out->column(0), out->column(1));
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(*tau, 2.0 / M_PI * std::asin(rho), 0.05);
+}
+
+TEST(KendallEstimatorTest, ThreadedMatchesSequentialExactly) {
+  // Per-pair RNG streams make the estimate independent of the thread
+  // count: 1 thread and 4 threads must agree bit for bit.
+  Rng data_rng(151);
+  std::vector<data::MarginSpec> specs;
+  for (int j = 0; j < 5; ++j) {
+    specs.push_back(
+        data::MarginSpec::Gaussian("x" + std::to_string(j), 300));
+  }
+  auto t = data::GenerateGaussianDependent(
+      specs, data::Ar1Correlation(5, 0.5), 3000, &data_rng);
+  ASSERT_TRUE(t.ok());
+  KendallEstimatorOptions seq, par;
+  seq.subsample = false;
+  seq.num_threads = 1;
+  par.subsample = false;
+  par.num_threads = 4;
+  Rng r1(42), r2(42);
+  auto a = EstimateKendallCorrelation(*t, 1.0, &r1, seq);
+  auto b = EstimateKendallCorrelation(*t, 1.0, &r2, par);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->correlation.MaxAbsDiff(b->correlation), 0.0);
+}
+
+class KendallVsMleAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KendallVsMleAccuracyTest, BothProduceValidCorrelations) {
+  Rng rng(static_cast<std::uint64_t>(3000 + GetParam()));
+  data::Table t = CorrelatedTable(4000, 0.5, &rng);
+  auto kendall = EstimateKendallCorrelation(t, 0.5, &rng);
+  auto mle = EstimateMleCorrelation(t, 0.5, &rng);
+  ASSERT_TRUE(kendall.ok());
+  ASSERT_TRUE(mle.ok());
+  EXPECT_TRUE(linalg::IsPositiveDefinite(kendall->correlation));
+  EXPECT_TRUE(linalg::IsPositiveDefinite(mle->correlation));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallVsMleAccuracyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dpcopula::copula

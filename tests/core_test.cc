@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/dpcopula.h"
+#include "core/hybrid.h"
+#include "data/census.h"
+#include "data/generator.h"
+#include "stats/kendall.h"
+
+namespace dpcopula::core {
+namespace {
+
+data::Table MakeSynthetic(std::size_t n, std::size_t m, double rho, Rng* rng,
+                          std::int64_t domain = 200) {
+  std::vector<data::MarginSpec> specs;
+  for (std::size_t j = 0; j < m; ++j) {
+    specs.push_back(
+        data::MarginSpec::Gaussian("x" + std::to_string(j), domain));
+  }
+  auto corr = data::Equicorrelation(m, rho);
+  return *data::GenerateGaussianDependent(specs, *corr, n, rng);
+}
+
+TEST(BudgetSplitTest, RatioK) {
+  DpCopulaOptions opts;
+  opts.epsilon = 1.0;
+  opts.budget_ratio_k = 8.0;
+  auto split = ComputeBudgetSplit(opts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(split->epsilon1, 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(split->epsilon2, 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(split->epsilon1 / split->epsilon2, 8.0, 1e-9);
+}
+
+TEST(BudgetSplitTest, ValidatesParameters) {
+  DpCopulaOptions opts;
+  opts.epsilon = 0.0;
+  EXPECT_FALSE(ComputeBudgetSplit(opts).ok());
+  opts.epsilon = 1.0;
+  opts.budget_ratio_k = -1.0;
+  EXPECT_FALSE(ComputeBudgetSplit(opts).ok());
+}
+
+TEST(SynthesizeTest, OutputMatchesSchemaAndRowCount) {
+  Rng rng(201);
+  data::Table t = MakeSynthetic(2000, 3, 0.5, &rng);
+  DpCopulaOptions opts;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->synthetic.schema() == t.schema());
+  EXPECT_EQ(res->synthetic.num_rows(), 2000u);
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+}
+
+TEST(SynthesizeTest, ExplicitRowCountHonored) {
+  Rng rng(203);
+  data::Table t = MakeSynthetic(1000, 2, 0.5, &rng);
+  DpCopulaOptions opts;
+  opts.num_synthetic_rows = 123;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->synthetic.num_rows(), 123u);
+}
+
+TEST(SynthesizeTest, BudgetFullyAccounted) {
+  Rng rng(205);
+  data::Table t = MakeSynthetic(1000, 4, 0.3, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = 0.7;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->budget.spent(), 0.7, 1e-9);
+  EXPECT_NEAR(res->budget.total_epsilon(), 0.7, 1e-12);
+  // m margins + 1 correlation charge.
+  EXPECT_EQ(res->budget.entries().size(), 5u);
+}
+
+TEST(SynthesizeTest, HighBudgetPreservesMarginsAndDependence) {
+  Rng rng(207);
+  data::Table t = MakeSynthetic(20000, 2, 0.6, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = 50.0;  // Nearly noiseless.
+  opts.kendall.subsample = false;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  // Dependence preserved.
+  auto tau_orig = stats::KendallTau(t.column(0), t.column(1));
+  auto tau_synth =
+      stats::KendallTau(res->synthetic.column(0), res->synthetic.column(1));
+  EXPECT_NEAR(*tau_synth, *tau_orig, 0.05);
+  // Margins preserved: compare column means.
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mo = 0.0, ms = 0.0;
+    for (double v : t.column(j)) mo += v;
+    for (double v : res->synthetic.column(j)) ms += v;
+    mo /= static_cast<double>(t.num_rows());
+    ms /= static_cast<double>(res->synthetic.num_rows());
+    EXPECT_NEAR(ms, mo, 5.0) << "column " << j;
+  }
+}
+
+TEST(SynthesizeTest, MleEstimatorPath) {
+  Rng rng(209);
+  data::Table t = MakeSynthetic(5000, 3, 0.4, &rng);
+  DpCopulaOptions opts;
+  opts.estimator = CorrelationEstimator::kMle;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->mle_partitions, 0);
+  EXPECT_EQ(res->kendall_rows_used, 0);
+}
+
+TEST(SynthesizeTest, KendallEstimatorPath) {
+  Rng rng(211);
+  data::Table t = MakeSynthetic(5000, 3, 0.4, &rng);
+  DpCopulaOptions opts;
+  opts.estimator = CorrelationEstimator::kKendall;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->kendall_rows_used, 0);
+  EXPECT_EQ(res->mle_partitions, 0);
+}
+
+TEST(SynthesizeTest, SingleColumnSpendsAllBudgetOnMargin) {
+  Rng rng(213);
+  data::Table t = MakeSynthetic(1000, 1, 0.0, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = 1.0;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->budget.entries().size(), 1u);
+  EXPECT_NEAR(res->budget.entries()[0].epsilon, 1.0, 1e-12);
+  EXPECT_EQ(res->correlation.rows(), 1u);
+}
+
+TEST(SynthesizeTest, TinyTableFallsBackToIdentityCopula) {
+  Rng rng(215);
+  data::Table t(data::Schema({{"a", 50}, {"b", 50}}));
+  ASSERT_TRUE(t.AppendRow({10, 20}).ok());
+  DpCopulaOptions opts;
+  opts.num_synthetic_rows = 10;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->synthetic.num_rows(), 10u);
+  EXPECT_NEAR(res->correlation(0, 1), 0.0, 1e-12);
+}
+
+TEST(SynthesizeTest, InvalidOptionsRejected) {
+  Rng rng(217);
+  data::Table t = MakeSynthetic(100, 2, 0.2, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = -1.0;
+  EXPECT_FALSE(Synthesize(t, opts, &rng).ok());
+  data::Table empty{data::Schema()};
+  DpCopulaOptions ok_opts;
+  EXPECT_FALSE(Synthesize(empty, ok_opts, &rng).ok());
+}
+
+TEST(SynthesizeTest, OutOfDomainInputRejected) {
+  Rng rng(219);
+  data::Table t(data::Schema({{"a", 5}, {"b", 5}}));
+  ASSERT_TRUE(t.AppendRow({4, 7}).ok());  // 7 outside domain.
+  DpCopulaOptions opts;
+  EXPECT_FALSE(Synthesize(t, opts, &rng).ok());
+}
+
+TEST(SynthesizeTest, DworkMarginalsAlsoWork) {
+  Rng rng(221);
+  data::Table t = MakeSynthetic(2000, 2, 0.5, &rng);
+  DpCopulaOptions opts;
+  opts.marginal_method = marginals::MarginalMethod::kDwork;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+}
+
+class SynthesizeEpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SynthesizeEpsilonSweep, AlwaysProducesValidOutput) {
+  Rng rng(223);
+  data::Table t = MakeSynthetic(3000, 4, 0.4, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = GetParam();
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok()) << "epsilon " << GetParam();
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+  EXPECT_NEAR(res->budget.spent(), GetParam(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SynthesizeEpsilonSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 2.0));
+
+TEST(SynthesizeTest, OversampleFactorScalesRows) {
+  Rng rng(239);
+  data::Table t = MakeSynthetic(1000, 2, 0.5, &rng);
+  DpCopulaOptions opts;
+  opts.oversample_factor = 4.0;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->synthetic.num_rows(), 4000u);
+  // Budget unaffected — oversampling is post-processing.
+  EXPECT_NEAR(res->budget.spent(), opts.epsilon, 1e-9);
+  opts.oversample_factor = 0.0;
+  EXPECT_FALSE(Synthesize(t, opts, &rng).ok());
+}
+
+TEST(SynthesizeTest, StudentTFamilyWithFixedDof) {
+  Rng rng(241);
+  data::Table t = MakeSynthetic(3000, 2, 0.6, &rng);
+  DpCopulaOptions opts;
+  opts.family = CopulaFamily::kStudentT;
+  opts.t_dof = 4.0;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->family_used, CopulaFamily::kStudentT);
+  EXPECT_DOUBLE_EQ(res->t_dof_used, 4.0);
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+  // Fixed dof consumes no extra budget.
+  EXPECT_NEAR(res->budget.spent(), opts.epsilon, 1e-9);
+}
+
+TEST(SynthesizeTest, StudentTFamilyWithPrivateDof) {
+  Rng rng(243);
+  data::Table t = MakeSynthetic(5000, 2, 0.6, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = 5.0;
+  opts.family = CopulaFamily::kStudentT;
+  opts.t_dof = 0.0;  // Estimate privately.
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->family_used, CopulaFamily::kStudentT);
+  EXPECT_GT(res->t_dof_used, 0.0);
+  EXPECT_NEAR(res->budget.spent(), opts.epsilon, 1e-9);
+}
+
+TEST(SynthesizeTest, AutoAicFamilySelectionRuns) {
+  Rng rng(245);
+  data::Table t = MakeSynthetic(5000, 2, 0.6, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = 5.0;
+  opts.family = CopulaFamily::kAutoAic;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  // Either family may win; the result must be valid and fully charged.
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+  EXPECT_NEAR(res->budget.spent(), opts.epsilon, 1e-9);
+}
+
+TEST(SynthesizeTest, EmpiricalFamilyEndToEnd) {
+  Rng rng(253);
+  data::Table t = MakeSynthetic(8000, 2, 0.7, &rng);
+  DpCopulaOptions opts;
+  opts.epsilon = 10.0;
+  opts.family = CopulaFamily::kEmpirical;
+  opts.empirical_grid = 8;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->family_used, CopulaFamily::kEmpirical);
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+  EXPECT_EQ(res->synthetic.num_rows(), 8000u);
+  EXPECT_NEAR(res->budget.spent(), 10.0, 1e-9);
+  // Dependence preserved at the grid resolution.
+  auto tau_orig = stats::KendallTau(t.column(0), t.column(1));
+  auto tau_synth =
+      stats::KendallTau(res->synthetic.column(0), res->synthetic.column(1));
+  EXPECT_NEAR(*tau_synth, *tau_orig, 0.15);
+}
+
+TEST(SynthesizeTest, EmpiricalFamilyRejectsHighDimensions) {
+  Rng rng(255);
+  data::Table t = MakeSynthetic(500, 12, 0.1, &rng, 20);
+  DpCopulaOptions opts;
+  opts.family = CopulaFamily::kEmpirical;
+  opts.empirical_grid = 16;  // 16^12 cells: must refuse.
+  EXPECT_EQ(Synthesize(t, opts, &rng).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(SynthesizeTest, TinyTableFallsBackToGaussianFamily) {
+  Rng rng(247);
+  data::Table t = MakeSynthetic(20, 2, 0.5, &rng);
+  DpCopulaOptions opts;
+  opts.family = CopulaFamily::kAutoAic;
+  auto res = Synthesize(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->family_used, CopulaFamily::kGaussian);
+}
+
+TEST(HybridTest, PlainDpcopulaWhenNoSmallDomains) {
+  Rng rng(225);
+  data::Table t = MakeSynthetic(2000, 2, 0.5, &rng);
+  HybridOptions opts;
+  auto res = SynthesizeHybrid(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->num_partitions, 1);
+  EXPECT_EQ(res->synthetic.num_rows(), 2000u);
+}
+
+TEST(HybridTest, PartitionsOnBinaryAttribute) {
+  Rng rng(227);
+  auto t = data::GenerateUsCensus(5000, &rng);
+  ASSERT_TRUE(t.ok());
+  HybridOptions opts;
+  opts.epsilon = 2.0;
+  auto res = SynthesizeHybrid(*t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->num_partitions, 2);  // Gender is the only small domain.
+  EXPECT_TRUE(res->synthetic.schema() == t->schema());
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+  // Total rows close to the original (Laplace(1/0.2) noise on two counts).
+  EXPECT_NEAR(static_cast<double>(res->synthetic.num_rows()), 5000.0, 200.0);
+}
+
+TEST(HybridTest, GenderProportionPreserved) {
+  Rng rng(229);
+  auto t = data::GenerateUsCensus(10000, &rng);
+  ASSERT_TRUE(t.ok());
+  HybridOptions opts;
+  opts.epsilon = 1.0;
+  auto res = SynthesizeHybrid(*t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  double orig_ones = 0.0, synth_ones = 0.0;
+  for (double v : t->column(3)) orig_ones += v;
+  for (double v : res->synthetic.column(3)) synth_ones += v;
+  EXPECT_NEAR(synth_ones / static_cast<double>(res->synthetic.num_rows()),
+              orig_ones / 10000.0, 0.05);
+}
+
+TEST(HybridTest, AllSmallDomainsBecomesContingencyTable) {
+  Rng rng(231);
+  data::Table t(data::Schema({{"a", 2}, {"b", 2}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.AppendRow({static_cast<double>(i % 2),
+                             static_cast<double>((i / 2) % 2)})
+                    .ok());
+  }
+  HybridOptions opts;
+  opts.epsilon = 5.0;
+  auto res = SynthesizeHybrid(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->num_partitions, 4);
+  EXPECT_NEAR(static_cast<double>(res->synthetic.num_rows()), 100.0, 30.0);
+}
+
+TEST(HybridTest, ValidatesOptions) {
+  Rng rng(233);
+  data::Table t = MakeSynthetic(100, 2, 0.2, &rng);
+  HybridOptions opts;
+  opts.epsilon = 0.0;
+  EXPECT_FALSE(SynthesizeHybrid(t, opts, &rng).ok());
+  opts.epsilon = 1.0;
+  opts.partition_count_fraction = 1.5;
+  EXPECT_FALSE(SynthesizeHybrid(t, opts, &rng).ok());
+}
+
+TEST(HybridTest, TooManyPartitionsRejected) {
+  Rng rng(235);
+  std::vector<data::Attribute> attrs;
+  for (int j = 0; j < 14; ++j) {
+    attrs.push_back({"b" + std::to_string(j), 2});
+  }
+  data::Table t{data::Schema(attrs)};
+  ASSERT_TRUE(t.AppendRow(std::vector<double>(14, 0.0)).ok());
+  HybridOptions opts;
+  opts.max_partitions = 4096;
+  EXPECT_EQ(SynthesizeHybrid(t, opts, &rng).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(HybridTest, BudgetNeverExceedsEpsilonAcrossPartitions) {
+  // Parallel composition: per-partition DPCopula runs each spend
+  // eps - eps1, but the hybrid's overall guarantee is eps. Verify the
+  // per-partition accountants stay within their allowance by running on a
+  // dataset with highly unbalanced partitions.
+  Rng rng(249);
+  data::Table t(data::Schema({{"flag", 2}, {"value", 100}}));
+  for (int i = 0; i < 900; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({0.0, static_cast<double>(i % 100)}).ok());
+  }
+  for (int i = 0; i < 30; ++i) {  // Tiny second partition.
+    ASSERT_TRUE(
+        t.AppendRow({1.0, static_cast<double>(i % 100)}).ok());
+  }
+  HybridOptions opts;
+  opts.epsilon = 0.5;
+  auto res = SynthesizeHybrid(t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->epsilon_counts + res->epsilon_copula, 0.5, 1e-12);
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+}
+
+TEST(HybridTest, SkipsNegativeNoisyCountPartitions) {
+  // With a tiny budget the Laplace noise on empty partitions is huge; any
+  // partition whose noisy count lands <= 0 must be skipped, never emitted
+  // with negative rows.
+  Rng rng(251);
+  data::Table t(data::Schema({{"flag", 2}, {"value", 50}}));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.AppendRow({0.0, static_cast<double>(i % 50)}).ok());
+  }
+  // Partition flag=1 is empty.
+  int skipped_seen = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    HybridOptions opts;
+    opts.epsilon = 0.05;
+    auto res = SynthesizeHybrid(t, opts, &rng);
+    ASSERT_TRUE(res.ok());
+    skipped_seen += static_cast<int>(res->num_skipped_partitions);
+    EXPECT_TRUE(res->synthetic.Validate().ok());
+  }
+  // The empty partition should be skipped in at least some repetitions
+  // (noisy count <= 0 with probability 1/2).
+  EXPECT_GT(skipped_seen, 0);
+}
+
+TEST(HybridTest, BrazilCensusEndToEnd) {
+  Rng rng(237);
+  auto t = data::GenerateBrazilCensus(4000, &rng);
+  ASSERT_TRUE(t.ok());
+  HybridOptions opts;
+  opts.epsilon = 1.0;
+  auto res = SynthesizeHybrid(*t, opts, &rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->num_partitions, 8);  // gender x disability x nativity.
+  EXPECT_TRUE(res->synthetic.schema() == t->schema());
+  EXPECT_TRUE(res->synthetic.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dpcopula::core

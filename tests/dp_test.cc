@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/table.h"
+#include "dp/budget.h"
+#include "dp/interactive.h"
+#include "dp/mechanisms.h"
+
+namespace dpcopula::dp {
+namespace {
+
+TEST(BudgetTest, ChargesAccumulate) {
+  BudgetAccountant acct(1.0);
+  EXPECT_TRUE(acct.Charge(0.25, "a").ok());
+  EXPECT_TRUE(acct.Charge(0.5, "b").ok());
+  EXPECT_NEAR(acct.spent(), 0.75, 1e-12);
+  EXPECT_NEAR(acct.remaining(), 0.25, 1e-12);
+  EXPECT_EQ(acct.entries().size(), 2u);
+}
+
+TEST(BudgetTest, OverchargeFails) {
+  BudgetAccountant acct(1.0);
+  EXPECT_TRUE(acct.Charge(0.9, "a").ok());
+  Status s = acct.Charge(0.2, "b");
+  EXPECT_EQ(s.code(), StatusCode::kPrivacyBudgetExceeded);
+  // Failed charge must not be recorded.
+  EXPECT_NEAR(acct.spent(), 0.9, 1e-12);
+  EXPECT_EQ(acct.entries().size(), 1u);
+}
+
+TEST(BudgetTest, ManySmallChargesToleratesFloatDrift) {
+  BudgetAccountant acct(1.0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(acct.Charge(0.001, "tick").ok()) << i;
+  }
+  EXPECT_NEAR(acct.spent(), 1.0, 1e-9);
+}
+
+TEST(BudgetTest, RejectsNegativeOrNonFinite) {
+  BudgetAccountant acct(1.0);
+  EXPECT_FALSE(acct.Charge(-0.1, "neg").ok());
+  EXPECT_FALSE(acct.Charge(std::nan(""), "nan").ok());
+}
+
+TEST(BudgetTest, ParallelChargeRecorded) {
+  BudgetAccountant acct(1.0);
+  EXPECT_TRUE(acct.ChargeParallel(0.4, "partitions").ok());
+  EXPECT_TRUE(acct.entries()[0].parallel);
+  EXPECT_NEAR(acct.spent(), 0.4, 1e-12);
+}
+
+TEST(LaplaceMechanismTest, ValidatesParameters) {
+  EXPECT_FALSE(LaplaceMechanism::Create(0.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(-1.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(1.0, -1.0).ok());
+  EXPECT_TRUE(LaplaceMechanism::Create(1.0, 0.0).ok());
+}
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  auto mech = LaplaceMechanism::Create(0.5, 2.0);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_DOUBLE_EQ(mech->scale(), 4.0);
+}
+
+TEST(LaplaceMechanismTest, ZeroSensitivityIsExact) {
+  Rng rng(1);
+  auto mech = LaplaceMechanism::Create(1.0, 0.0);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_DOUBLE_EQ(mech->Perturb(&rng, 42.0), 42.0);
+}
+
+TEST(LaplaceMechanismTest, NoiseHasCorrectMeanAndVariance) {
+  Rng rng(3);
+  auto mech = LaplaceMechanism::Create(1.0, 1.0);  // b = 1, var = 2.
+  ASSERT_TRUE(mech.ok());
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double noise = mech->Perturb(&rng, 0.0);
+    sum += noise;
+    sum_sq += noise * noise;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 2.0, 0.1);
+}
+
+TEST(LaplaceMechanismTest, PerturbVectorPreservesLength) {
+  Rng rng(5);
+  auto mech = LaplaceMechanism::Create(1.0, 1.0);
+  ASSERT_TRUE(mech.ok());
+  const std::vector<double> out =
+      mech->PerturbVector(&rng, {1.0, 2.0, 3.0});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ExponentialMechanismTest, ValidatesInput) {
+  Rng rng(7);
+  EXPECT_FALSE(ExponentialMechanism(&rng, {}, 1.0, 1.0).ok());
+  EXPECT_FALSE(ExponentialMechanism(&rng, {1.0}, 0.0, 1.0).ok());
+  EXPECT_FALSE(ExponentialMechanism(&rng, {1.0}, 1.0, 0.0).ok());
+}
+
+TEST(ExponentialMechanismTest, StronglyPrefersHighScores) {
+  Rng rng(11);
+  const std::vector<double> scores = {0.0, 0.0, 100.0, 0.0};
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto pick = ExponentialMechanism(&rng, scores, 1.0, 1.0);
+    ASSERT_TRUE(pick.ok());
+    if (*pick == 2) ++hits;
+  }
+  EXPECT_GT(hits, 990);
+}
+
+TEST(ExponentialMechanismTest, SelectionProbabilityRatio) {
+  // With two candidates and score gap g, P(best)/P(other) = exp(eps*g/2).
+  Rng rng(13);
+  const double eps = 1.0, gap = 2.0;
+  const std::vector<double> scores = {gap, 0.0};
+  int best = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (*ExponentialMechanism(&rng, scores, eps, 1.0) == 0) ++best;
+  }
+  const double expected =
+      std::exp(eps * gap / 2.0) / (1.0 + std::exp(eps * gap / 2.0));
+  EXPECT_NEAR(static_cast<double>(best) / n, expected, 0.01);
+}
+
+TEST(ExponentialMechanismTest, UniformWhenScoresEqual) {
+  Rng rng(17);
+  const std::vector<double> scores = {5.0, 5.0, 5.0, 5.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[*ExponentialMechanism(&rng, scores, 1.0, 1.0)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(ExponentialMechanismTest, NumericallyStableForHugeScores) {
+  Rng rng(19);
+  // Scores whose exponentials would overflow without max-shifting.
+  const std::vector<double> scores = {1e6, 1e6 - 1.0};
+  auto pick = ExponentialMechanism(&rng, scores, 1.0, 1.0);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_LT(*pick, 2u);
+}
+
+TEST(LaplaceMechanismTest, EmpiricalPrivacyLossBounded) {
+  // Direct check of the DP definition: release a count that is 0 in D and
+  // 1 in D' (sensitivity 1). For every output bucket, the empirical
+  // probability ratio must not exceed e^epsilon (up to sampling error).
+  Rng rng(29);
+  const double epsilon = 1.0;
+  auto mech = LaplaceMechanism::Create(epsilon, 1.0);
+  ASSERT_TRUE(mech.ok());
+  constexpr int kBuckets = 20;
+  constexpr double kLo = -5.0, kHi = 6.0;
+  constexpr int kSamples = 400000;
+  std::vector<double> hist_d(kBuckets, 0.0), hist_dp(kBuckets, 0.0);
+  auto bucket_of = [&](double x) {
+    int b = static_cast<int>((x - kLo) / (kHi - kLo) * kBuckets);
+    return std::min(kBuckets - 1, std::max(0, b));
+  };
+  for (int i = 0; i < kSamples; ++i) {
+    hist_d[static_cast<std::size_t>(bucket_of(mech->Perturb(&rng, 0.0)))] +=
+        1.0;
+    hist_dp[static_cast<std::size_t>(bucket_of(mech->Perturb(&rng, 1.0)))] +=
+        1.0;
+  }
+  const double bound = std::exp(epsilon);
+  for (int b = 0; b < kBuckets; ++b) {
+    // Only compare buckets with enough mass for a stable ratio estimate.
+    if (hist_d[b] < 500.0 || hist_dp[b] < 500.0) continue;
+    const double ratio = hist_d[b] / hist_dp[b];
+    EXPECT_LT(ratio, bound * 1.15) << "bucket " << b;
+    EXPECT_GT(ratio, 1.0 / (bound * 1.15)) << "bucket " << b;
+  }
+}
+
+data::Table SmallTable() {
+  data::Table t{data::Schema({{"a", 10}})};
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({static_cast<double>(i % 10)}).ok();
+  }
+  return t;
+}
+
+TEST(InteractiveEngineTest, AnswersUntilBudgetExhausted) {
+  Rng rng(31);
+  InteractiveEngine engine(SmallTable(), 1.0);
+  EXPECT_EQ(engine.QueriesRemaining(0.1), 10u);
+  for (int q = 0; q < 10; ++q) {
+    auto ans = engine.AnswerRangeCount({0}, {9}, 0.1, &rng);
+    ASSERT_TRUE(ans.ok()) << "query " << q;
+    EXPECT_NEAR(*ans, 100.0, 120.0);  // Lap(10) noise.
+  }
+  EXPECT_EQ(engine.queries_answered(), 10u);
+  // The 11th query must be refused — the paper's §1 motivation.
+  auto refused = engine.AnswerRangeCount({0}, {9}, 0.1, &rng);
+  EXPECT_EQ(refused.status().code(), StatusCode::kPrivacyBudgetExceeded);
+  EXPECT_EQ(engine.QueriesRemaining(0.1), 0u);
+}
+
+TEST(InteractiveEngineTest, AccurateWithBigPerQueryBudget) {
+  Rng rng(37);
+  InteractiveEngine engine(SmallTable(), 100.0);
+  double total_err = 0.0;
+  for (int q = 0; q < 10; ++q) {
+    auto ans = engine.AnswerRangeCount({2}, {5}, 5.0, &rng);
+    ASSERT_TRUE(ans.ok());
+    total_err += std::fabs(*ans - 40.0);
+  }
+  EXPECT_LT(total_err / 10.0, 1.0);
+}
+
+TEST(InteractiveEngineTest, ValidatesQueries) {
+  Rng rng(41);
+  InteractiveEngine engine(SmallTable(), 1.0);
+  EXPECT_FALSE(engine.AnswerRangeCount({0}, {9}, 0.0, &rng).ok());
+  EXPECT_FALSE(engine.AnswerRangeCount({0, 0}, {9, 9}, 0.1, &rng).ok());
+  // Failed queries must not consume budget.
+  EXPECT_NEAR(engine.remaining_budget(), 1.0, 1e-12);
+}
+
+TEST(GeometricMechanismTest, IntegerValuedSymmetricNoise) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = SampleTwoSidedGeometric(&rng, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));  // Integral.
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace dpcopula::dp

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "baselines/range_estimator.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "query/evaluator.h"
+#include "query/experiment_config.h"
+#include "query/fidelity_metrics.h"
+#include "query/metrics.h"
+#include "query/privacy_metrics.h"
+#include "query/workload.h"
+
+namespace dpcopula::query {
+namespace {
+
+TEST(MetricsTest, RelativeErrorWithSanityBound) {
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 110.0, 1.0), 0.1);
+  // Tiny true answers are floored by the sanity bound.
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 5.0, 1.0), 5.0);
+}
+
+TEST(MetricsTest, AbsoluteError) {
+  EXPECT_DOUBLE_EQ(AbsoluteError(100.0, 90.0), 10.0);
+  EXPECT_DOUBLE_EQ(AbsoluteError(-5.0, 5.0), 10.0);
+}
+
+TEST(MetricsTest, PaperSanityBounds) {
+  EXPECT_DOUBLE_EQ(DefaultSanityBound(), 1.0);
+  EXPECT_DOUBLE_EQ(UsCensusSanityBound(100000), 50.0);
+  EXPECT_DOUBLE_EQ(BrazilSanityBound(), 10.0);
+}
+
+TEST(WorkloadTest, RandomQueriesRespectDomains) {
+  Rng rng(401);
+  data::Schema schema({{"a", 10}, {"b", 100}});
+  const auto queries = RandomWorkload(schema, 200, &rng);
+  ASSERT_EQ(queries.size(), 200u);
+  for (const auto& q : queries) {
+    ASSERT_EQ(q.lo.size(), 2u);
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_GE(q.lo[j], 0);
+      EXPECT_LE(q.lo[j], q.hi[j]);
+      EXPECT_LT(q.hi[j], schema.attribute(j).domain_size);
+    }
+  }
+}
+
+TEST(WorkloadTest, FixedSizeQueriesHaveRequestedWidth) {
+  Rng rng(403);
+  data::Schema schema({{"a", 100}, {"b", 100}});
+  auto queries = FixedSizeWorkload(schema, 0.25, 50, &rng);
+  ASSERT_TRUE(queries.ok());
+  for (const auto& q : *queries) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(q.hi[j] - q.lo[j] + 1, 25);
+      EXPECT_GE(q.lo[j], 0);
+      EXPECT_LT(q.hi[j], 100);
+    }
+  }
+}
+
+TEST(WorkloadTest, FixedSizeValidation) {
+  Rng rng(405);
+  data::Schema schema({{"a", 100}});
+  EXPECT_FALSE(FixedSizeWorkload(schema, 0.0, 10, &rng).ok());
+  EXPECT_FALSE(FixedSizeWorkload(schema, 1.5, 10, &rng).ok());
+  // Tiny fractions clamp to width 1.
+  auto q = FixedSizeWorkload(schema, 1e-9, 5, &rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0].hi[0], (*q)[0].lo[0]);
+}
+
+TEST(WorkloadTest, MarginalQueriesConstrainOnlyTarget) {
+  Rng rng(404);
+  data::Schema schema({{"a", 50}, {"b", 60}, {"c", 70}});
+  auto queries = MarginalWorkload(schema, 1, 30, &rng);
+  ASSERT_TRUE(queries.ok());
+  for (const auto& q : *queries) {
+    EXPECT_EQ(q.lo[0], 0);
+    EXPECT_EQ(q.hi[0], 49);
+    EXPECT_EQ(q.lo[2], 0);
+    EXPECT_EQ(q.hi[2], 69);
+    EXPECT_GE(q.lo[1], 0);
+    EXPECT_LE(q.hi[1], 59);
+    EXPECT_LE(q.lo[1], q.hi[1]);
+  }
+  EXPECT_FALSE(MarginalWorkload(schema, 5, 10, &rng).ok());
+}
+
+TEST(EvaluatorTest, PerfectEstimatorHasZeroError) {
+  Rng rng(407);
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Gaussian("x", 50),
+      data::MarginSpec::Gaussian("y", 50)};
+  auto t = data::GenerateGaussianDependent(
+      specs, *data::Equicorrelation(2, 0.3), 1000, &rng);
+  ASSERT_TRUE(t.ok());
+  baselines::TableEstimator perfect(*t, "perfect");
+  const auto workload = RandomWorkload(t->schema(), 100, &rng);
+  auto result = EvaluateWorkload(*t, perfect, workload, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(result->mean_absolute_error, 0.0);
+  EXPECT_DOUBLE_EQ(result->median_relative_error, 0.0);
+  EXPECT_EQ(result->num_queries, 100u);
+}
+
+TEST(EvaluatorTest, BiasedEstimatorMeasured) {
+  Rng rng(409);
+  std::vector<data::MarginSpec> specs = {data::MarginSpec::Uniform("x", 20)};
+  auto t = data::GenerateGaussianDependent(
+      specs, linalg::Matrix::Identity(1), 500, &rng);
+  ASSERT_TRUE(t.ok());
+  // An estimator that always answers 0.
+  class ZeroEstimator : public baselines::RangeCountEstimator {
+   public:
+    double EstimateRangeCount(const std::vector<std::int64_t>&,
+                              const std::vector<std::int64_t>&) const override {
+      return 0.0;
+    }
+    std::string name() const override { return "zero"; }
+  } zero;
+  const auto workload = RandomWorkload(t->schema(), 50, &rng);
+  auto result = EvaluateWorkload(*t, zero, workload, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean_absolute_error, 0.0);
+  // Every nonzero-answer query has RE exactly 1.
+  EXPECT_LE(result->median_relative_error, 1.0);
+}
+
+TEST(EvaluatorTest, ValidatesInput) {
+  Rng rng(411);
+  std::vector<data::MarginSpec> specs = {data::MarginSpec::Uniform("x", 20)};
+  auto t = data::GenerateGaussianDependent(
+      specs, linalg::Matrix::Identity(1), 50, &rng);
+  ASSERT_TRUE(t.ok());
+  baselines::TableEstimator est(*t, "e");
+  EXPECT_FALSE(EvaluateWorkload(*t, est, {}, 1.0).ok());
+  // Arity mismatch.
+  RangeQuery q;
+  q.lo = {0, 0};
+  q.hi = {1, 1};
+  EXPECT_FALSE(EvaluateWorkload(*t, est, {q}, 1.0).ok());
+}
+
+data::Table RandomTable2(std::size_t n, Rng* rng) {
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Gaussian("a", 50),
+      data::MarginSpec::Uniform("b", 50)};
+  return *data::GenerateGaussianDependent(
+      specs, *data::Equicorrelation(2, 0.4), n, rng);
+}
+
+TEST(PrivacyMetricsTest, SelfDcrIsZero) {
+  Rng rng(501);
+  data::Table t = RandomTable2(300, &rng);
+  auto dcr = DistanceToClosestRecord(t, t);
+  ASSERT_TRUE(dcr.ok());
+  EXPECT_DOUBLE_EQ(dcr->mean, 0.0);
+  EXPECT_DOUBLE_EQ(dcr->frac_zero, 1.0);
+}
+
+TEST(PrivacyMetricsTest, DisjointSamplesHavePositiveDcr) {
+  Rng rng(503);
+  // Distinct independent samples from the same distribution rarely collide
+  // exactly across both attributes but can; mean distance must be > 0.
+  data::Table a = RandomTable2(300, &rng);
+  data::Table b = RandomTable2(300, &rng);
+  auto dcr = DistanceToClosestRecord(a, b);
+  ASSERT_TRUE(dcr.ok());
+  EXPECT_GE(dcr->mean, 0.0);
+  EXPECT_LT(dcr->frac_zero, 1.0);
+}
+
+TEST(PrivacyMetricsTest, ValidatesInput) {
+  Rng rng(505);
+  data::Table a = RandomTable2(10, &rng);
+  data::Table other{data::Schema({{"x", 5}})};
+  EXPECT_FALSE(DistanceToClosestRecord(a, other).ok());
+  data::Table empty{a.schema()};
+  EXPECT_FALSE(DistanceToClosestRecord(a, empty).ok());
+  EXPECT_FALSE(AttributeDisclosureRisk(a, a, 7).ok());
+  EXPECT_FALSE(MajorityGuessAccuracy(a, 7).ok());
+}
+
+TEST(PrivacyMetricsTest, MajorityGuessAccuracy) {
+  data::Table t{data::Schema({{"a", 3}})};
+  for (double v : {0.0, 0.0, 0.0, 1.0, 2.0}) {
+    ASSERT_TRUE(t.AppendRow({v}).ok());
+  }
+  auto acc = MajorityGuessAccuracy(t, 0);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 0.6);
+}
+
+TEST(PrivacyMetricsTest, DisclosureOnExactCopyIsHigh) {
+  Rng rng(507);
+  // Three large-domain known attributes make rows near-unique, so releasing
+  // the data verbatim lets the adversary's nearest-neighbor guess the
+  // target almost always.
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Uniform("k1", 500),
+      data::MarginSpec::Uniform("k2", 500),
+      data::MarginSpec::Uniform("k3", 500),
+      data::MarginSpec::Uniform("target", 50)};
+  auto t = data::GenerateGaussianDependent(
+      specs, linalg::Matrix::Identity(4), 200, &rng);
+  ASSERT_TRUE(t.ok());
+  auto risk = AttributeDisclosureRisk(*t, *t, 3);
+  ASSERT_TRUE(risk.ok());
+  EXPECT_GT(*risk, 0.95);
+}
+
+TEST(PrivacyMetricsTest, DisclosureOnIndependentDataIsLow) {
+  Rng rng(509);
+  data::Table original = RandomTable2(300, &rng);
+  // "Synthetic" data drawn independently of the original records: the
+  // adversary cannot beat chance by much on a 50-value target.
+  data::Table independent = RandomTable2(300, &rng);
+  auto risk = AttributeDisclosureRisk(independent, original, 1);
+  ASSERT_TRUE(risk.ok());
+  EXPECT_LT(*risk, 0.3);
+}
+
+TEST(FidelityMetricsTest, IdenticalTablesScoreZero) {
+  Rng rng(521);
+  data::Table t = RandomTable2(500, &rng);
+  auto report = EvaluateFidelity(t, t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_marginal_tv, 0.0);
+  EXPECT_DOUBLE_EQ(report->dependence_distance, 0.0);
+}
+
+TEST(FidelityMetricsTest, DisjointMarginsScoreOne) {
+  data::Table a{data::Schema({{"x", 4}})};
+  data::Table b{data::Schema({{"x", 4}})};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a.AppendRow({0}).ok());
+    ASSERT_TRUE(b.AppendRow({3}).ok());
+  }
+  auto tv = MarginalTotalVariation(a, b, 0);
+  ASSERT_TRUE(tv.ok());
+  EXPECT_DOUBLE_EQ(*tv, 1.0);
+}
+
+TEST(FidelityMetricsTest, DependenceDistanceDetectsFlippedCorrelation) {
+  Rng rng(523);
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Gaussian("a", 50),
+      data::MarginSpec::Gaussian("b", 50)};
+  auto pos = data::GenerateGaussianDependent(
+      specs, *data::Equicorrelation(2, 0.7), 5000, &rng);
+  auto neg = data::GenerateGaussianDependent(
+      specs, *data::Equicorrelation(2, -0.7), 5000, &rng);
+  auto dist = DependenceDistance(*pos, *neg);
+  ASSERT_TRUE(dist.ok());
+  // tau(0.7) ~ 0.49 each side -> distance ~ 1.
+  EXPECT_GT(*dist, 0.8);
+}
+
+TEST(FidelityMetricsTest, KendallMatrixShape) {
+  Rng rng(527);
+  data::Table t = RandomTable2(500, &rng);
+  auto tau = KendallMatrix(t);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_EQ(tau->rows(), 2u);
+  EXPECT_DOUBLE_EQ((*tau)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ((*tau)(0, 1), (*tau)(1, 0));
+}
+
+TEST(FidelityMetricsTest, ValidatesInput) {
+  Rng rng(529);
+  data::Table t = RandomTable2(10, &rng);
+  data::Table other{data::Schema({{"x", 5}})};
+  EXPECT_FALSE(MarginalTotalVariation(t, other, 0).ok());
+  EXPECT_FALSE(MarginalTotalVariation(t, t, 9).ok());
+  data::Table empty{t.schema()};
+  EXPECT_FALSE(MarginalTotalVariation(t, empty, 0).ok());
+}
+
+TEST(ExperimentConfigTest, PaperDefaultsMatchTable3) {
+  const auto cfg = ExperimentConfig::Paper();
+  EXPECT_EQ(cfg.num_tuples, 50000);
+  EXPECT_DOUBLE_EQ(cfg.epsilon, 1.0);
+  EXPECT_EQ(cfg.num_dimensions, 8u);
+  EXPECT_DOUBLE_EQ(cfg.sanity_bound, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.budget_ratio_k, 8.0);
+  EXPECT_EQ(cfg.domain_size, 1000);
+  EXPECT_EQ(cfg.queries_per_run, 1000u);
+  EXPECT_EQ(cfg.num_runs, 5u);
+  EXPECT_EQ(cfg.ProfileName(), "paper");
+}
+
+TEST(ExperimentConfigTest, FastProfileIsSmaller) {
+  const auto cfg = ExperimentConfig::Fast();
+  EXPECT_LT(cfg.num_tuples, ExperimentConfig::Paper().num_tuples);
+  EXPECT_LT(cfg.queries_per_run, ExperimentConfig::Paper().queries_per_run);
+  EXPECT_EQ(cfg.ProfileName(), "fast");
+}
+
+TEST(ExperimentConfigTest, EnvironmentSwitch) {
+  ::setenv("DPCOPULA_BENCH_FULL", "1", 1);
+  EXPECT_EQ(ExperimentConfig::FromEnvironment().ProfileName(), "paper");
+  ::setenv("DPCOPULA_BENCH_FULL", "0", 1);
+  EXPECT_EQ(ExperimentConfig::FromEnvironment().ProfileName(), "fast");
+  ::unsetenv("DPCOPULA_BENCH_FULL");
+  EXPECT_EQ(ExperimentConfig::FromEnvironment().ProfileName(), "fast");
+}
+
+}  // namespace
+}  // namespace dpcopula::query

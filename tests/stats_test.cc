@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/empirical_cdf.h"
+#include "stats/normal.h"
+
+namespace dpcopula::stats {
+namespace {
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalTest, InverseCdfKnownValues) {
+  EXPECT_NEAR(NormalInverseCdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalInverseCdf(0.8413447460685429), 1.0, 1e-9);
+  EXPECT_NEAR(NormalInverseCdf(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalInverseCdf(0.025), -1.959963984540054, 1e-9);
+}
+
+TEST(NormalTest, InverseCdfEdgeCases) {
+  EXPECT_TRUE(std::isinf(NormalInverseCdf(0.0)));
+  EXPECT_LT(NormalInverseCdf(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalInverseCdf(1.0)));
+  EXPECT_GT(NormalInverseCdf(1.0), 0.0);
+  EXPECT_TRUE(std::isnan(NormalInverseCdf(-0.1)));
+  EXPECT_TRUE(std::isnan(NormalInverseCdf(1.1)));
+}
+
+class NormalRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTripTest, InverseCdfIsTrueInverse) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalInverseCdf(p)), p, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Probabilities, NormalRoundTripTest,
+    ::testing::Values(1e-10, 1e-6, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                      0.99, 0.999, 1.0 - 1e-6, 1.0 - 1e-10));
+
+TEST(DistributionsTest, LaplaceMomentsAndCdf) {
+  Rng rng(101);
+  const double scale = 2.5;
+  const int n = 200000;
+  double sum = 0.0, sum_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleLaplace(&rng, scale);
+    sum += x;
+    sum_abs += std::fabs(x);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);           // Mean 0.
+  EXPECT_NEAR(sum_abs / n, scale, 0.05);     // E|X| = b.
+  EXPECT_NEAR(LaplaceCdf(0.0, scale), 0.5, 1e-15);
+  EXPECT_NEAR(LaplaceCdf(scale, scale), 1.0 - 0.5 / M_E, 1e-12);
+}
+
+TEST(DistributionsTest, ExponentialMean) {
+  Rng rng(103);
+  const double rate = 0.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += SampleExponential(&rng, rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+  EXPECT_NEAR(ExponentialCdf(2.0, 0.5), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(DistributionsTest, GammaMomentsLargeShape) {
+  Rng rng(107);
+  const double shape = 3.0, scale = 2.0;
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleGamma(&rng, shape, scale);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(sum_sq / n - mean * mean, shape * scale * scale, 0.5);
+}
+
+TEST(DistributionsTest, GammaSmallShapeBoost) {
+  Rng rng(109);
+  const double shape = 0.5, scale = 1.0;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += SampleGamma(&rng, shape, scale);
+  EXPECT_NEAR(sum / n, shape * scale, 0.02);
+}
+
+TEST(DistributionsTest, GammaCdfAgainstKnownValues) {
+  // Gamma(1, 1) is Exponential(1).
+  EXPECT_NEAR(GammaCdf(1.0, 1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  // Gamma(2, 1) CDF at 2: 1 - e^-2 (1 + 2) = 0.59399...
+  EXPECT_NEAR(GammaCdf(2.0, 2.0, 1.0), 1.0 - std::exp(-2.0) * 3.0, 1e-10);
+}
+
+TEST(DistributionsTest, StudentTSymmetricAndHeavyTailed) {
+  Rng rng(113);
+  const int n = 100000;
+  double sum = 0.0;
+  int extreme = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleStudentT(&rng, 3.0);
+    sum += x;
+    if (std::fabs(x) > 3.0) ++extreme;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // t(3) has far more mass beyond 3 than a normal (0.27% for normal).
+  EXPECT_GT(static_cast<double>(extreme) / n, 0.01);
+}
+
+TEST(DistributionsTest, StudentTCdf) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  // t(1) is Cauchy: CDF(1) = 3/4.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-9);
+  EXPECT_NEAR(StudentTCdf(-1.0, 1.0), 0.25, 1e-9);
+}
+
+TEST(DistributionsTest, ZipfDistribution) {
+  Rng rng(127);
+  const auto cdf = MakeZipfCdf(100, 1.0);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-15);
+  const int n = 100000;
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < n; ++i) ++counts[SampleZipf(&rng, cdf)];
+  // P(1)/P(2) should be ~2 for exponent 1.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.15);
+  // Rank 1 dominates.
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(DistributionsTest, RegularizedIncompleteBetaIdentities) {
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 5.0);
+  EXPECT_NEAR(Variance(x), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(x), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, PearsonPerfectAndNegative) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const std::vector<double> z = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(*PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(*PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonErrors) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1}, {1}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+}
+
+TEST(DescriptiveTest, AverageRanksWithTies) {
+  const std::vector<double> x = {10, 20, 20, 30};
+  const auto r = AverageRanks(x);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(DescriptiveTest, SpearmanMonotonicNonlinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // Monotone, nonlinear.
+  EXPECT_NEAR(*SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, Quantiles) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(*Quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*Quantile(x, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(*Quantile(x, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(*Quantile(x, 0.25), 2.0);
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.5).ok());
+}
+
+TEST(EmpiricalCdfTest, FromCountsBasics) {
+  auto cdf = EmpiricalCdf::FromCounts({1, 2, 3, 4});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_EQ(cdf->domain_size(), 4);
+  EXPECT_DOUBLE_EQ(cdf->total_count(), 10.0);
+  EXPECT_NEAR(cdf->Evaluate(0.0), 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(cdf->Evaluate(3.0), 10.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(-1.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, EvaluateMidStrictlyInside) {
+  auto cdf = EmpiricalCdf::FromCounts({5.0});
+  ASSERT_TRUE(cdf.ok());
+  const double u = cdf->EvaluateMid(0.0);
+  EXPECT_GT(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(EmpiricalCdfTest, NegativeCountsClamped) {
+  auto cdf = EmpiricalCdf::FromCounts({-5.0, 3.0, -1.0, 7.0});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ(cdf->total_count(), 10.0);
+  // Value 0 has zero clamped mass, so F(0) = 0 and the inverse never maps
+  // interior quantiles to it.
+  EXPECT_DOUBLE_EQ(cdf->Evaluate(0.0), 0.0);
+  EXPECT_EQ(cdf->InverseCdf(0.2), 1);
+}
+
+TEST(EmpiricalCdfTest, AllZeroFallsBackToUniform) {
+  auto cdf = EmpiricalCdf::FromCounts({0.0, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_EQ(cdf->InverseCdf(0.1), 0);
+  EXPECT_EQ(cdf->InverseCdf(0.9), 3);
+}
+
+TEST(EmpiricalCdfTest, FromDataMatchesManualCounts) {
+  auto cdf = EmpiricalCdf::FromData({0, 0, 1, 2, 2, 2}, 3);
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_NEAR(cdf->Evaluate(0.0), 2.0 / 7.0, 1e-12);
+  EXPECT_NEAR(cdf->Evaluate(1.0), 3.0 / 7.0, 1e-12);
+  EXPECT_FALSE(EmpiricalCdf::FromData({5.0}, 3).ok());
+}
+
+TEST(EmpiricalCdfTest, InverseCdfRoundTrip) {
+  auto cdf = EmpiricalCdf::FromCounts({10, 0, 5, 0, 20});
+  ASSERT_TRUE(cdf.ok());
+  // u below first mass goes to 0; mid mass to 2; heavy tail to 4.
+  EXPECT_EQ(cdf->InverseCdf(0.1), 0);
+  EXPECT_EQ(cdf->InverseCdf(0.4), 2);
+  EXPECT_EQ(cdf->InverseCdf(0.99), 4);
+  EXPECT_EQ(cdf->InverseCdf(0.0), 0);
+  EXPECT_EQ(cdf->InverseCdf(1.0), 4);
+}
+
+class EmpiricalCdfSamplingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmpiricalCdfSamplingTest, InverseSamplingRecoversDistribution) {
+  Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  std::vector<double> counts = {10, 30, 0, 40, 20};
+  auto cdf = EmpiricalCdf::FromCounts(counts);
+  ASSERT_TRUE(cdf.ok());
+  std::vector<double> freq(5, 0.0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    freq[static_cast<std::size_t>(cdf->InverseCdf(rng.NextDouble()))] += 1.0;
+  }
+  for (std::size_t v = 0; v < counts.size(); ++v) {
+    EXPECT_NEAR(freq[v] / n, counts[v] / 100.0, 0.015) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmpiricalCdfSamplingTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace dpcopula::stats

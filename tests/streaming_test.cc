@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/streaming.h"
+#include "data/generator.h"
+#include "stats/kendall.h"
+
+namespace dpcopula::core {
+namespace {
+
+data::Table MakeBatch(std::size_t n, double rho, Rng* rng) {
+  std::vector<data::MarginSpec> specs = {
+      data::MarginSpec::Gaussian("a", 100),
+      data::MarginSpec::Gaussian("b", 100)};
+  auto corr = data::Equicorrelation(2, rho);
+  return *data::GenerateGaussianDependent(specs, *corr, n, rng);
+}
+
+StreamingSynthesizer::Options HighBudgetOptions() {
+  StreamingSynthesizer::Options opts;
+  opts.epsilon_per_batch = 10.0;
+  return opts;
+}
+
+TEST(StreamingTest, ValidatesConstruction) {
+  StreamingSynthesizer::Options opts;
+  opts.epsilon_per_batch = 0.0;
+  StreamingSynthesizer s(data::Schema({{"a", 10}}), opts);
+  EXPECT_FALSE(s.Validate().ok());
+  opts.epsilon_per_batch = 1.0;
+  opts.decay = 1.5;
+  StreamingSynthesizer s2(data::Schema({{"a", 10}}), opts);
+  EXPECT_FALSE(s2.Validate().ok());
+  StreamingSynthesizer s3(data::Schema(), HighBudgetOptions());
+  EXPECT_FALSE(s3.Validate().ok());
+}
+
+TEST(StreamingTest, RejectsBeforeIngest) {
+  Rng rng(701);
+  StreamingSynthesizer s(MakeBatch(10, 0.0, &rng).schema(),
+                         HighBudgetOptions());
+  EXPECT_FALSE(s.CurrentModel().ok());
+  EXPECT_FALSE(s.Synthesize(10, &rng).ok());
+}
+
+TEST(StreamingTest, RejectsSchemaMismatchAndEmptyBatches) {
+  Rng rng(703);
+  data::Table batch = MakeBatch(100, 0.3, &rng);
+  StreamingSynthesizer s(batch.schema(), HighBudgetOptions());
+  data::Table other{data::Schema({{"x", 5}})};
+  EXPECT_FALSE(s.Ingest(other, &rng).ok());
+  data::Table empty{batch.schema()};
+  EXPECT_FALSE(s.Ingest(empty, &rng).ok());
+}
+
+TEST(StreamingTest, AccumulatesBatchesAndWeight) {
+  Rng rng(705);
+  data::Table batch = MakeBatch(1000, 0.5, &rng);
+  StreamingSynthesizer s(batch.schema(), HighBudgetOptions());
+  ASSERT_TRUE(s.Ingest(batch, &rng).ok());
+  EXPECT_EQ(s.num_batches(), 1u);
+  const double w1 = s.accumulated_weight();
+  EXPECT_NEAR(w1, 1000.0, 100.0);
+  ASSERT_TRUE(s.Ingest(MakeBatch(1000, 0.5, &rng), &rng).ok());
+  EXPECT_EQ(s.num_batches(), 2u);
+  EXPECT_NEAR(s.accumulated_weight(), 2.0 * w1, 250.0);
+}
+
+TEST(StreamingTest, ModelReflectsMergedDependence) {
+  Rng rng(707);
+  data::Table first = MakeBatch(5000, 0.6, &rng);
+  StreamingSynthesizer s(first.schema(), HighBudgetOptions());
+  ASSERT_TRUE(s.Ingest(first, &rng).ok());
+  for (int b = 0; b < 3; ++b) {
+    ASSERT_TRUE(s.Ingest(MakeBatch(5000, 0.6, &rng), &rng).ok());
+  }
+  auto model = s.CurrentModel();
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->correlation(0, 1), 0.6, 0.1);
+  auto sample = s.Synthesize(20000, &rng);
+  ASSERT_TRUE(sample.ok());
+  auto tau = stats::KendallTau(sample->column(0), sample->column(1));
+  EXPECT_NEAR(*tau, 2.0 / M_PI * std::asin(0.6), 0.08);
+}
+
+TEST(StreamingTest, DecayTracksDistributionDrift) {
+  // Distribution flips from rho = +0.7 to rho = -0.7; with aggressive decay
+  // the model must follow the new regime.
+  Rng rng(709);
+  data::Table seed = MakeBatch(4000, 0.7, &rng);
+  StreamingSynthesizer::Options opts = HighBudgetOptions();
+  opts.decay = 0.2;
+  StreamingSynthesizer s(seed.schema(), opts);
+  ASSERT_TRUE(s.Ingest(seed, &rng).ok());
+  for (int b = 0; b < 4; ++b) {
+    ASSERT_TRUE(s.Ingest(MakeBatch(4000, -0.7, &rng), &rng).ok());
+  }
+  auto model = s.CurrentModel();
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->correlation(0, 1), -0.4);
+}
+
+TEST(StreamingTest, NoDecayAveragesRegimes) {
+  Rng rng(711);
+  data::Table seed = MakeBatch(4000, 0.7, &rng);
+  StreamingSynthesizer s(seed.schema(), HighBudgetOptions());
+  ASSERT_TRUE(s.Ingest(seed, &rng).ok());
+  ASSERT_TRUE(s.Ingest(MakeBatch(4000, -0.7, &rng), &rng).ok());
+  auto model = s.CurrentModel();
+  ASSERT_TRUE(model.ok());
+  // Equal-weight average of +-0.7 lands near zero.
+  EXPECT_NEAR(model->correlation(0, 1), 0.0, 0.2);
+}
+
+TEST(StreamingTest, SaveRestoreRoundTrip) {
+  Rng rng(717);
+  data::Table seed = MakeBatch(2000, 0.5, &rng);
+  StreamingSynthesizer s(seed.schema(), HighBudgetOptions());
+  ASSERT_TRUE(s.Ingest(seed, &rng).ok());
+  ASSERT_TRUE(s.Ingest(MakeBatch(2000, 0.5, &rng), &rng).ok());
+  const std::string path = "/tmp/dpcopula_stream_state.txt";
+  ASSERT_TRUE(s.SaveState(path).ok());
+
+  auto restored =
+      StreamingSynthesizer::RestoreState(path, HighBudgetOptions());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_batches(), 2u);
+  EXPECT_NEAR(restored->accumulated_weight(), s.accumulated_weight(), 1.0);
+  // Restored synthesizer keeps ingesting and sampling.
+  ASSERT_TRUE(restored->Ingest(MakeBatch(2000, 0.5, &rng), &rng).ok());
+  EXPECT_EQ(restored->num_batches(), 3u);
+  auto sample = restored->Synthesize(1000, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(sample->Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(StreamingTest, SaveRequiresIngestedData) {
+  Rng rng(719);
+  StreamingSynthesizer s(MakeBatch(10, 0.0, &rng).schema(),
+                         HighBudgetOptions());
+  EXPECT_FALSE(s.SaveState("/tmp/should_not_exist.txt").ok());
+  EXPECT_FALSE(StreamingSynthesizer::RestoreState("/nonexistent/x.txt",
+                                                  HighBudgetOptions())
+                   .ok());
+}
+
+TEST(StreamingTest, ManySmallBatchesStayStable) {
+  // Thirty tiny batches: numerical accumulation (decay + weighted merges)
+  // must keep the model valid throughout.
+  Rng rng(715);
+  data::Table seed = MakeBatch(100, 0.4, &rng);
+  StreamingSynthesizer::Options opts = HighBudgetOptions();
+  opts.decay = 0.9;
+  StreamingSynthesizer s(seed.schema(), opts);
+  ASSERT_TRUE(s.Ingest(seed, &rng).ok());
+  for (int b = 0; b < 29; ++b) {
+    ASSERT_TRUE(s.Ingest(MakeBatch(100, 0.4, &rng), &rng).ok());
+  }
+  EXPECT_EQ(s.num_batches(), 30u);
+  auto model = s.CurrentModel();
+  ASSERT_TRUE(model.ok());
+  auto sample = s.Synthesize(500, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(sample->Validate().ok());
+}
+
+TEST(StreamingTest, DefaultSampleUsesAccumulatedCount) {
+  Rng rng(713);
+  data::Table batch = MakeBatch(800, 0.2, &rng);
+  StreamingSynthesizer s(batch.schema(), HighBudgetOptions());
+  ASSERT_TRUE(s.Ingest(batch, &rng).ok());
+  ASSERT_TRUE(s.Ingest(MakeBatch(1200, 0.2, &rng), &rng).ok());
+  auto sample = s.Synthesize(0, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_NEAR(static_cast<double>(sample->num_rows()), 2000.0, 250.0);
+}
+
+}  // namespace
+}  // namespace dpcopula::core
