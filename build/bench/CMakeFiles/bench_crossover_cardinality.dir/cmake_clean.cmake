@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossover_cardinality.dir/bench_crossover_cardinality.cc.o"
+  "CMakeFiles/bench_crossover_cardinality.dir/bench_crossover_cardinality.cc.o.d"
+  "bench_crossover_cardinality"
+  "bench_crossover_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossover_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

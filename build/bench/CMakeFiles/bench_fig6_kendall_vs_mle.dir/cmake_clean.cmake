@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_kendall_vs_mle.dir/bench_fig6_kendall_vs_mle.cc.o"
+  "CMakeFiles/bench_fig6_kendall_vs_mle.dir/bench_fig6_kendall_vs_mle.cc.o.d"
+  "bench_fig6_kendall_vs_mle"
+  "bench_fig6_kendall_vs_mle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_kendall_vs_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_defaults.dir/bench_table3_defaults.cc.o"
+  "CMakeFiles/bench_table3_defaults.dir/bench_table3_defaults.cc.o.d"
+  "bench_table3_defaults"
+  "bench_table3_defaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_defaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_release.dir/census_release.cpp.o"
+  "CMakeFiles/census_release.dir/census_release.cpp.o.d"
+  "census_release"
+  "census_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_tradeoff.dir/estimator_tradeoff.cpp.o"
+  "CMakeFiles/estimator_tradeoff.dir/estimator_tradeoff.cpp.o.d"
+  "estimator_tradeoff"
+  "estimator_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_vs_synthetic.dir/interactive_vs_synthetic.cpp.o"
+  "CMakeFiles/interactive_vs_synthetic.dir/interactive_vs_synthetic.cpp.o.d"
+  "interactive_vs_synthetic"
+  "interactive_vs_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_vs_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

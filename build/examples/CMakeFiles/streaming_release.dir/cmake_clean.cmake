@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_release.dir/streaming_release.cpp.o"
+  "CMakeFiles/streaming_release.dir/streaming_release.cpp.o.d"
+  "streaming_release"
+  "streaming_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_accuracy.dir/workload_accuracy.cpp.o"
+  "CMakeFiles/workload_accuracy.dir/workload_accuracy.cpp.o.d"
+  "workload_accuracy"
+  "workload_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/barak.cc" "src/baselines/CMakeFiles/dpc_baselines.dir/barak.cc.o" "gcc" "src/baselines/CMakeFiles/dpc_baselines.dir/barak.cc.o.d"
+  "/root/repo/src/baselines/dpcube.cc" "src/baselines/CMakeFiles/dpc_baselines.dir/dpcube.cc.o" "gcc" "src/baselines/CMakeFiles/dpc_baselines.dir/dpcube.cc.o.d"
+  "/root/repo/src/baselines/filter_priority.cc" "src/baselines/CMakeFiles/dpc_baselines.dir/filter_priority.cc.o" "gcc" "src/baselines/CMakeFiles/dpc_baselines.dir/filter_priority.cc.o.d"
+  "/root/repo/src/baselines/grids.cc" "src/baselines/CMakeFiles/dpc_baselines.dir/grids.cc.o" "gcc" "src/baselines/CMakeFiles/dpc_baselines.dir/grids.cc.o.d"
+  "/root/repo/src/baselines/php.cc" "src/baselines/CMakeFiles/dpc_baselines.dir/php.cc.o" "gcc" "src/baselines/CMakeFiles/dpc_baselines.dir/php.cc.o.d"
+  "/root/repo/src/baselines/privelet.cc" "src/baselines/CMakeFiles/dpc_baselines.dir/privelet.cc.o" "gcc" "src/baselines/CMakeFiles/dpc_baselines.dir/privelet.cc.o.d"
+  "/root/repo/src/baselines/psd.cc" "src/baselines/CMakeFiles/dpc_baselines.dir/psd.cc.o" "gcc" "src/baselines/CMakeFiles/dpc_baselines.dir/psd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dpc_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpc_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/marginals/CMakeFiles/dpc_marginals.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_baselines.dir/barak.cc.o"
+  "CMakeFiles/dpc_baselines.dir/barak.cc.o.d"
+  "CMakeFiles/dpc_baselines.dir/dpcube.cc.o"
+  "CMakeFiles/dpc_baselines.dir/dpcube.cc.o.d"
+  "CMakeFiles/dpc_baselines.dir/filter_priority.cc.o"
+  "CMakeFiles/dpc_baselines.dir/filter_priority.cc.o.d"
+  "CMakeFiles/dpc_baselines.dir/grids.cc.o"
+  "CMakeFiles/dpc_baselines.dir/grids.cc.o.d"
+  "CMakeFiles/dpc_baselines.dir/php.cc.o"
+  "CMakeFiles/dpc_baselines.dir/php.cc.o.d"
+  "CMakeFiles/dpc_baselines.dir/privelet.cc.o"
+  "CMakeFiles/dpc_baselines.dir/privelet.cc.o.d"
+  "CMakeFiles/dpc_baselines.dir/psd.cc.o"
+  "CMakeFiles/dpc_baselines.dir/psd.cc.o.d"
+  "libdpc_baselines.a"
+  "libdpc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpc_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_common.dir/rng.cc.o"
+  "CMakeFiles/dpc_common.dir/rng.cc.o.d"
+  "CMakeFiles/dpc_common.dir/status.cc.o"
+  "CMakeFiles/dpc_common.dir/status.cc.o.d"
+  "libdpc_common.a"
+  "libdpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/copula/empirical_copula.cc" "src/copula/CMakeFiles/dpc_copula.dir/empirical_copula.cc.o" "gcc" "src/copula/CMakeFiles/dpc_copula.dir/empirical_copula.cc.o.d"
+  "/root/repo/src/copula/gaussian_copula.cc" "src/copula/CMakeFiles/dpc_copula.dir/gaussian_copula.cc.o" "gcc" "src/copula/CMakeFiles/dpc_copula.dir/gaussian_copula.cc.o.d"
+  "/root/repo/src/copula/kendall_estimator.cc" "src/copula/CMakeFiles/dpc_copula.dir/kendall_estimator.cc.o" "gcc" "src/copula/CMakeFiles/dpc_copula.dir/kendall_estimator.cc.o.d"
+  "/root/repo/src/copula/mle_estimator.cc" "src/copula/CMakeFiles/dpc_copula.dir/mle_estimator.cc.o" "gcc" "src/copula/CMakeFiles/dpc_copula.dir/mle_estimator.cc.o.d"
+  "/root/repo/src/copula/pseudo_obs.cc" "src/copula/CMakeFiles/dpc_copula.dir/pseudo_obs.cc.o" "gcc" "src/copula/CMakeFiles/dpc_copula.dir/pseudo_obs.cc.o.d"
+  "/root/repo/src/copula/sampler.cc" "src/copula/CMakeFiles/dpc_copula.dir/sampler.cc.o" "gcc" "src/copula/CMakeFiles/dpc_copula.dir/sampler.cc.o.d"
+  "/root/repo/src/copula/t_copula.cc" "src/copula/CMakeFiles/dpc_copula.dir/t_copula.cc.o" "gcc" "src/copula/CMakeFiles/dpc_copula.dir/t_copula.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpc_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/marginals/CMakeFiles/dpc_marginals.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dpc_hist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_copula.dir/empirical_copula.cc.o"
+  "CMakeFiles/dpc_copula.dir/empirical_copula.cc.o.d"
+  "CMakeFiles/dpc_copula.dir/gaussian_copula.cc.o"
+  "CMakeFiles/dpc_copula.dir/gaussian_copula.cc.o.d"
+  "CMakeFiles/dpc_copula.dir/kendall_estimator.cc.o"
+  "CMakeFiles/dpc_copula.dir/kendall_estimator.cc.o.d"
+  "CMakeFiles/dpc_copula.dir/mle_estimator.cc.o"
+  "CMakeFiles/dpc_copula.dir/mle_estimator.cc.o.d"
+  "CMakeFiles/dpc_copula.dir/pseudo_obs.cc.o"
+  "CMakeFiles/dpc_copula.dir/pseudo_obs.cc.o.d"
+  "CMakeFiles/dpc_copula.dir/sampler.cc.o"
+  "CMakeFiles/dpc_copula.dir/sampler.cc.o.d"
+  "CMakeFiles/dpc_copula.dir/t_copula.cc.o"
+  "CMakeFiles/dpc_copula.dir/t_copula.cc.o.d"
+  "libdpc_copula.a"
+  "libdpc_copula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_copula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

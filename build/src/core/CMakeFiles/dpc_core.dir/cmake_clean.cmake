@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_core.dir/dpcopula.cc.o"
+  "CMakeFiles/dpc_core.dir/dpcopula.cc.o.d"
+  "CMakeFiles/dpc_core.dir/hybrid.cc.o"
+  "CMakeFiles/dpc_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/dpc_core.dir/model_io.cc.o"
+  "CMakeFiles/dpc_core.dir/model_io.cc.o.d"
+  "CMakeFiles/dpc_core.dir/streaming.cc.o"
+  "CMakeFiles/dpc_core.dir/streaming.cc.o.d"
+  "libdpc_core.a"
+  "libdpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/census.cc" "src/data/CMakeFiles/dpc_data.dir/census.cc.o" "gcc" "src/data/CMakeFiles/dpc_data.dir/census.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/dpc_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/dpc_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/dpc_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/dpc_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/dpc_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/dpc_data.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_data.dir/census.cc.o"
+  "CMakeFiles/dpc_data.dir/census.cc.o.d"
+  "CMakeFiles/dpc_data.dir/csv.cc.o"
+  "CMakeFiles/dpc_data.dir/csv.cc.o.d"
+  "CMakeFiles/dpc_data.dir/generator.cc.o"
+  "CMakeFiles/dpc_data.dir/generator.cc.o.d"
+  "CMakeFiles/dpc_data.dir/table.cc.o"
+  "CMakeFiles/dpc_data.dir/table.cc.o.d"
+  "libdpc_data.a"
+  "libdpc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

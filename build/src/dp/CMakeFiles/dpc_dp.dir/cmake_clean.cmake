@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_dp.dir/budget.cc.o"
+  "CMakeFiles/dpc_dp.dir/budget.cc.o.d"
+  "CMakeFiles/dpc_dp.dir/interactive.cc.o"
+  "CMakeFiles/dpc_dp.dir/interactive.cc.o.d"
+  "CMakeFiles/dpc_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/dpc_dp.dir/mechanisms.cc.o.d"
+  "libdpc_dp.a"
+  "libdpc_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

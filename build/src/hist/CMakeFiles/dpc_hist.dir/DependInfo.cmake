@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hist/dct.cc" "src/hist/CMakeFiles/dpc_hist.dir/dct.cc.o" "gcc" "src/hist/CMakeFiles/dpc_hist.dir/dct.cc.o.d"
+  "/root/repo/src/hist/histogram.cc" "src/hist/CMakeFiles/dpc_hist.dir/histogram.cc.o" "gcc" "src/hist/CMakeFiles/dpc_hist.dir/histogram.cc.o.d"
+  "/root/repo/src/hist/summed_area.cc" "src/hist/CMakeFiles/dpc_hist.dir/summed_area.cc.o" "gcc" "src/hist/CMakeFiles/dpc_hist.dir/summed_area.cc.o.d"
+  "/root/repo/src/hist/wavelet.cc" "src/hist/CMakeFiles/dpc_hist.dir/wavelet.cc.o" "gcc" "src/hist/CMakeFiles/dpc_hist.dir/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

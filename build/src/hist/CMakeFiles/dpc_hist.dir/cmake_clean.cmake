@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_hist.dir/dct.cc.o"
+  "CMakeFiles/dpc_hist.dir/dct.cc.o.d"
+  "CMakeFiles/dpc_hist.dir/histogram.cc.o"
+  "CMakeFiles/dpc_hist.dir/histogram.cc.o.d"
+  "CMakeFiles/dpc_hist.dir/summed_area.cc.o"
+  "CMakeFiles/dpc_hist.dir/summed_area.cc.o.d"
+  "CMakeFiles/dpc_hist.dir/wavelet.cc.o"
+  "CMakeFiles/dpc_hist.dir/wavelet.cc.o.d"
+  "libdpc_hist.a"
+  "libdpc_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

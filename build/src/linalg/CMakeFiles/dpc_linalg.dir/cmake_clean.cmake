@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/dpc_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/dpc_linalg.dir/eigen_sym.cc.o"
+  "CMakeFiles/dpc_linalg.dir/eigen_sym.cc.o.d"
+  "CMakeFiles/dpc_linalg.dir/matrix.cc.o"
+  "CMakeFiles/dpc_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/dpc_linalg.dir/psd_repair.cc.o"
+  "CMakeFiles/dpc_linalg.dir/psd_repair.cc.o.d"
+  "libdpc_linalg.a"
+  "libdpc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marginals/dwork.cc" "src/marginals/CMakeFiles/dpc_marginals.dir/dwork.cc.o" "gcc" "src/marginals/CMakeFiles/dpc_marginals.dir/dwork.cc.o.d"
+  "/root/repo/src/marginals/efpa.cc" "src/marginals/CMakeFiles/dpc_marginals.dir/efpa.cc.o" "gcc" "src/marginals/CMakeFiles/dpc_marginals.dir/efpa.cc.o.d"
+  "/root/repo/src/marginals/marginal_method.cc" "src/marginals/CMakeFiles/dpc_marginals.dir/marginal_method.cc.o" "gcc" "src/marginals/CMakeFiles/dpc_marginals.dir/marginal_method.cc.o.d"
+  "/root/repo/src/marginals/noisefirst.cc" "src/marginals/CMakeFiles/dpc_marginals.dir/noisefirst.cc.o" "gcc" "src/marginals/CMakeFiles/dpc_marginals.dir/noisefirst.cc.o.d"
+  "/root/repo/src/marginals/postprocess.cc" "src/marginals/CMakeFiles/dpc_marginals.dir/postprocess.cc.o" "gcc" "src/marginals/CMakeFiles/dpc_marginals.dir/postprocess.cc.o.d"
+  "/root/repo/src/marginals/structurefirst.cc" "src/marginals/CMakeFiles/dpc_marginals.dir/structurefirst.cc.o" "gcc" "src/marginals/CMakeFiles/dpc_marginals.dir/structurefirst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpc_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dpc_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

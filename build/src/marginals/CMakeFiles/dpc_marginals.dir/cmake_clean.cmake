@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_marginals.dir/dwork.cc.o"
+  "CMakeFiles/dpc_marginals.dir/dwork.cc.o.d"
+  "CMakeFiles/dpc_marginals.dir/efpa.cc.o"
+  "CMakeFiles/dpc_marginals.dir/efpa.cc.o.d"
+  "CMakeFiles/dpc_marginals.dir/marginal_method.cc.o"
+  "CMakeFiles/dpc_marginals.dir/marginal_method.cc.o.d"
+  "CMakeFiles/dpc_marginals.dir/noisefirst.cc.o"
+  "CMakeFiles/dpc_marginals.dir/noisefirst.cc.o.d"
+  "CMakeFiles/dpc_marginals.dir/postprocess.cc.o"
+  "CMakeFiles/dpc_marginals.dir/postprocess.cc.o.d"
+  "CMakeFiles/dpc_marginals.dir/structurefirst.cc.o"
+  "CMakeFiles/dpc_marginals.dir/structurefirst.cc.o.d"
+  "libdpc_marginals.a"
+  "libdpc_marginals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_marginals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

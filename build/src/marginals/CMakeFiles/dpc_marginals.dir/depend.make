@@ -1,0 +1,2 @@
+# Empty dependencies file for dpc_marginals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/dpc_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/dpc_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/experiment_config.cc" "src/query/CMakeFiles/dpc_query.dir/experiment_config.cc.o" "gcc" "src/query/CMakeFiles/dpc_query.dir/experiment_config.cc.o.d"
+  "/root/repo/src/query/fidelity_metrics.cc" "src/query/CMakeFiles/dpc_query.dir/fidelity_metrics.cc.o" "gcc" "src/query/CMakeFiles/dpc_query.dir/fidelity_metrics.cc.o.d"
+  "/root/repo/src/query/metrics.cc" "src/query/CMakeFiles/dpc_query.dir/metrics.cc.o" "gcc" "src/query/CMakeFiles/dpc_query.dir/metrics.cc.o.d"
+  "/root/repo/src/query/privacy_metrics.cc" "src/query/CMakeFiles/dpc_query.dir/privacy_metrics.cc.o" "gcc" "src/query/CMakeFiles/dpc_query.dir/privacy_metrics.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/query/CMakeFiles/dpc_query.dir/workload.cc.o" "gcc" "src/query/CMakeFiles/dpc_query.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dpc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/marginals/CMakeFiles/dpc_marginals.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dpc_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpc_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_query.dir/evaluator.cc.o"
+  "CMakeFiles/dpc_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/dpc_query.dir/experiment_config.cc.o"
+  "CMakeFiles/dpc_query.dir/experiment_config.cc.o.d"
+  "CMakeFiles/dpc_query.dir/fidelity_metrics.cc.o"
+  "CMakeFiles/dpc_query.dir/fidelity_metrics.cc.o.d"
+  "CMakeFiles/dpc_query.dir/metrics.cc.o"
+  "CMakeFiles/dpc_query.dir/metrics.cc.o.d"
+  "CMakeFiles/dpc_query.dir/privacy_metrics.cc.o"
+  "CMakeFiles/dpc_query.dir/privacy_metrics.cc.o.d"
+  "CMakeFiles/dpc_query.dir/workload.cc.o"
+  "CMakeFiles/dpc_query.dir/workload.cc.o.d"
+  "libdpc_query.a"
+  "libdpc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_stats.dir/descriptive.cc.o"
+  "CMakeFiles/dpc_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/dpc_stats.dir/distributions.cc.o"
+  "CMakeFiles/dpc_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/dpc_stats.dir/empirical_cdf.cc.o"
+  "CMakeFiles/dpc_stats.dir/empirical_cdf.cc.o.d"
+  "CMakeFiles/dpc_stats.dir/kendall.cc.o"
+  "CMakeFiles/dpc_stats.dir/kendall.cc.o.d"
+  "CMakeFiles/dpc_stats.dir/normal.cc.o"
+  "CMakeFiles/dpc_stats.dir/normal.cc.o.d"
+  "libdpc_stats.a"
+  "libdpc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

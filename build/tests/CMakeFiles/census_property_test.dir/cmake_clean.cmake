@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_property_test.dir/census_property_test.cc.o"
+  "CMakeFiles/census_property_test.dir/census_property_test.cc.o.d"
+  "census_property_test"
+  "census_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copula_test.dir/copula_test.cc.o"
+  "CMakeFiles/copula_test.dir/copula_test.cc.o.d"
+  "copula_test"
+  "copula_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/determinism_test.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/determinism_test.dir/determinism_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dpc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dpc_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/copula/CMakeFiles/dpc_copula.dir/DependInfo.cmake"
+  "/root/repo/build/src/marginals/CMakeFiles/dpc_marginals.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dpc_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpc_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

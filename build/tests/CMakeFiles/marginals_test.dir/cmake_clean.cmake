@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marginals_test.dir/marginals_test.cc.o"
+  "CMakeFiles/marginals_test.dir/marginals_test.cc.o.d"
+  "marginals_test"
+  "marginals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marginals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

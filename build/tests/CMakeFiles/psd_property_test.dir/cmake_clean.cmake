@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_property_test.dir/psd_property_test.cc.o"
+  "CMakeFiles/psd_property_test.dir/psd_property_test.cc.o.d"
+  "psd_property_test"
+  "psd_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

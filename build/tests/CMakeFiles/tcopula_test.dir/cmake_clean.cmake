@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcopula_test.dir/tcopula_test.cc.o"
+  "CMakeFiles/tcopula_test.dir/tcopula_test.cc.o.d"
+  "tcopula_test"
+  "tcopula_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcopula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpcopula_cli.dir/dpcopula_cli.cc.o"
+  "CMakeFiles/dpcopula_cli.dir/dpcopula_cli.cc.o.d"
+  "dpcopula"
+  "dpcopula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpcopula_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

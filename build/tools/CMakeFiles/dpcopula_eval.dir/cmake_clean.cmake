@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpcopula_eval.dir/dpcopula_eval.cc.o"
+  "CMakeFiles/dpcopula_eval.dir/dpcopula_eval.cc.o.d"
+  "dpcopula_eval"
+  "dpcopula_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpcopula_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
