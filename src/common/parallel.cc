@@ -1,0 +1,198 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace dpcopula {
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int ResolveNumThreads(int requested) {
+  if (requested == 0) return HardwareThreads();
+  return std::max(1, requested);
+}
+
+namespace {
+// Set while a thread is executing pool work; nested ParallelFor calls see
+// it and fall back to inline execution instead of blocking a worker on
+// tasks that may be queued behind it (classic pool deadlock).
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void WorkerLoop() {
+    t_in_pool_worker = true;
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      job();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : impl_(new Impl) {
+  const int n = std::max(1, num_threads);
+  impl_->workers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+int ThreadPool::num_workers() const {
+  return static_cast<int>(impl_->workers.size());
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: workers must outlive every static destructor that
+  // could conceivably submit work during shutdown.
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+void ThreadPool::Run(std::size_t num_tasks, int max_parallelism,
+                     const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  const int parallelism =
+      std::min<int>(std::max(1, max_parallelism),
+                    static_cast<int>(std::min<std::size_t>(
+                        num_tasks, static_cast<std::size_t>(
+                                       num_workers() + 1))));
+  if (parallelism <= 1 || num_tasks == 1 || InWorker()) {
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  struct RunState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total;
+    std::mutex mu;
+    std::condition_variable cv;
+    const std::function<void(std::size_t)>* task;
+  };
+  auto state = std::make_shared<RunState>();
+  state->total = num_tasks;
+  state->task = &task;  // Caller blocks below, so the reference stays valid.
+
+  auto drain = [](const std::shared_ptr<RunState>& s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1);
+      if (i >= s->total) break;
+      (*s->task)(i);
+      if (s->done.fetch_add(1) + 1 == s->total) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (int h = 0; h < parallelism - 1; ++h) {
+      impl_->queue.emplace_back([state, drain] { drain(state); });
+    }
+  }
+  impl_->cv.notify_all();
+
+  // The calling thread claims shards too; mark it as "in pool work" so any
+  // nested ParallelFor it triggers runs inline.
+  const bool was_in_worker = t_in_pool_worker;
+  t_in_pool_worker = true;
+  drain(state);
+  t_in_pool_worker = was_in_worker;
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done.load() == state->total; });
+}
+
+std::vector<Shard> MakeShards(std::size_t begin, std::size_t end,
+                              std::size_t grain) {
+  std::vector<Shard> shards;
+  if (begin >= end) return shards;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  shards.reserve((end - begin + g - 1) / g);
+  for (std::size_t lo = begin; lo < end; lo += g) {
+    shards.push_back({lo, std::min(end, lo + g)});
+  }
+  return shards;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 int num_threads) {
+  if (begin >= end) return;
+  const int threads = ResolveNumThreads(num_threads);
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  if (threads <= 1 || end - begin <= g || ThreadPool::InWorker()) {
+    // Single shard-sized chunks keep cache behaviour identical to the
+    // parallel path (same loop bounds per call).
+    for (std::size_t lo = begin; lo < end; lo += g) {
+      fn(lo, std::min(end, lo + g));
+    }
+    return;
+  }
+  const std::vector<Shard> shards = MakeShards(begin, end, g);
+  ThreadPool::Global().Run(
+      shards.size(), threads,
+      [&](std::size_t i) { fn(shards[i].begin, shards[i].end); });
+}
+
+void ParallelForSharded(
+    std::size_t begin, std::size_t end, std::size_t grain, Rng* rng,
+    const std::function<void(std::size_t, std::size_t, Rng*)>& fn,
+    int num_threads) {
+  if (begin >= end) return;
+  const std::vector<Shard> shards = MakeShards(begin, end, grain);
+  // Split in shard order before any task runs: the parent RNG advances by
+  // exactly shards.size() states and every shard's stream is fixed no
+  // matter how shards are later scheduled.
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shard_rngs.push_back(rng->Split());
+  }
+  const int threads = ResolveNumThreads(num_threads);
+  if (threads <= 1 || shards.size() == 1 || ThreadPool::InWorker()) {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      fn(shards[i].begin, shards[i].end, &shard_rngs[i]);
+    }
+    return;
+  }
+  ThreadPool::Global().Run(shards.size(), threads, [&](std::size_t i) {
+    fn(shards[i].begin, shards[i].end, &shard_rngs[i]);
+  });
+}
+
+}  // namespace dpcopula

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
-#include <thread>
 
+#include "common/parallel.h"
 #include "linalg/cholesky.h"
 #include "linalg/psd_repair.h"
 #include "stats/distributions.h"
@@ -86,42 +86,28 @@ Result<KendallEstimate> EstimateKendallCorrelation(
     }
   }
 
+  // One pair per shard on the shared pool: each pair already owns its split
+  // RNG, so the result is bit-identical for any thread count.
   std::vector<double> rhos(pairs.size(), 0.0);
   std::atomic<bool> failed{false};
-  auto worker = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end && !failed.load(); ++i) {
-      Pair& pair = pairs[i];
-      auto tau = stats::KendallTau(cols[pair.j], cols[pair.k]);
-      if (!tau.ok()) {
-        failed.store(true);
-        return;
-      }
-      double noisy_tau =
-          *tau + stats::SampleLaplace(&pair.rng, scale);
-      // Clamping into the valid tau range is post-processing and costs no
-      // privacy.
-      noisy_tau = std::clamp(noisy_tau, -1.0, 1.0);
-      rhos[i] = std::sin(M_PI / 2.0 * noisy_tau);  // Eq. (4).
-    }
-  };
-  const int threads = std::max(1, options.num_threads);
-  if (threads <= 1 || pairs.size() < 2) {
-    worker(0, pairs.size());
-  } else {
-    const std::size_t num_workers =
-        std::min<std::size_t>(static_cast<std::size_t>(threads),
-                              pairs.size());
-    std::vector<std::thread> pool;
-    const std::size_t chunk =
-        (pairs.size() + num_workers - 1) / num_workers;
-    for (std::size_t w = 0; w < num_workers; ++w) {
-      const std::size_t begin = w * chunk;
-      const std::size_t end = std::min(pairs.size(), begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(worker, begin, end);
-    }
-    for (auto& t : pool) t.join();
-  }
+  ParallelFor(
+      0, pairs.size(), /*grain=*/1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end && !failed.load(); ++i) {
+          Pair& pair = pairs[i];
+          auto tau = stats::KendallTau(cols[pair.j], cols[pair.k]);
+          if (!tau.ok()) {
+            failed.store(true);
+            return;
+          }
+          double noisy_tau = *tau + stats::SampleLaplace(&pair.rng, scale);
+          // Clamping into the valid tau range is post-processing and costs
+          // no privacy.
+          noisy_tau = std::clamp(noisy_tau, -1.0, 1.0);
+          rhos[i] = std::sin(M_PI / 2.0 * noisy_tau);  // Eq. (4).
+        }
+      },
+      options.num_threads);
   if (failed.load()) {
     return Status::Internal("pairwise Kendall computation failed");
   }

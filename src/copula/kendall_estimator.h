@@ -21,10 +21,11 @@ struct KendallEstimatorOptions {
   /// Overrides the automatic n_hat when > 0 (must still be <= n).
   std::int64_t subsample_size_override = 0;
 
-  /// Worker threads for the C(m,2) pairwise tau computations (the dominant
-  /// cost at high m). Each pair derives its own RNG stream from the caller's
-  /// generator by pair index, so results are bit-identical regardless of
-  /// thread count. 0 or 1 = sequential.
+  /// Worker threads (shared ThreadPool) for the C(m,2) pairwise tau
+  /// computations — the dominant cost at high m. Each pair derives its own
+  /// RNG stream from the caller's generator by pair index, so results are
+  /// bit-identical regardless of thread count. 0 = hardware concurrency,
+  /// <= 1 = sequential.
   int num_threads = 1;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "copula/gaussian_copula.h"
 #include "copula/pseudo_obs.h"
 #include "linalg/cholesky.h"
@@ -46,23 +47,43 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
         std::to_string(n) + ", l=" + std::to_string(l) + ")");
   }
 
-  // Average per-partition normal-scores correlations.
+  // Fit the l disjoint partitions concurrently (the fits are RNG-free and
+  // touch disjoint row slices), then average sequentially in partition
+  // order so the floating-point sum — and thus the released matrix — is
+  // identical for every thread count.
+  std::vector<Result<linalg::Matrix>> fits(
+      static_cast<std::size_t>(l),
+      Result<linalg::Matrix>(Status::Internal("partition not fitted")));
+  ParallelFor(
+      0, static_cast<std::size_t>(l), /*grain=*/1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t ti = begin; ti < end; ++ti) {
+          const auto t = static_cast<std::int64_t>(ti);
+          // Slice rows [t*b, (t+1)*b) of each column.
+          data::Table part = data::Table::Zeros(
+              table.schema(), static_cast<std::size_t>(b));
+          for (std::size_t j = 0; j < m; ++j) {
+            const auto& col = table.column(j);
+            auto& dst = part.mutable_column(j);
+            for (std::int64_t i = 0; i < b; ++i) {
+              dst[static_cast<std::size_t>(i)] =
+                  col[static_cast<std::size_t>(t * b + i)];
+            }
+          }
+          auto pseudo = PseudoObservations(part);
+          if (!pseudo.ok()) {
+            fits[ti] = pseudo.status();
+            continue;
+          }
+          const auto scores = NormalScores(*pseudo);
+          fits[ti] = NormalScoresCorrelation(scores);
+        }
+      },
+      options.num_threads);
+
   linalg::Matrix avg(m, m);
-  for (std::int64_t t = 0; t < l; ++t) {
-    // Slice rows [t*b, (t+1)*b) of each column.
-    data::Table part = data::Table::Zeros(table.schema(),
-                                          static_cast<std::size_t>(b));
-    for (std::size_t j = 0; j < m; ++j) {
-      const auto& col = table.column(j);
-      auto& dst = part.mutable_column(j);
-      for (std::int64_t i = 0; i < b; ++i) {
-        dst[static_cast<std::size_t>(i)] =
-            col[static_cast<std::size_t>(t * b + i)];
-      }
-    }
-    DPC_ASSIGN_OR_RETURN(auto pseudo, PseudoObservations(part));
-    const auto scores = NormalScores(pseudo);
-    DPC_ASSIGN_OR_RETURN(linalg::Matrix corr, NormalScoresCorrelation(scores));
+  for (std::size_t ti = 0; ti < fits.size(); ++ti) {
+    DPC_ASSIGN_OR_RETURN(linalg::Matrix corr, std::move(fits[ti]));
     avg = avg + corr;
   }
   avg = avg.Scaled(1.0 / static_cast<double>(l));

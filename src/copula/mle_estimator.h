@@ -22,6 +22,12 @@ struct MleEstimatorOptions {
   /// copula correlation estimate needs at least a handful of rows to be
   /// informative.
   std::int64_t min_partition_rows = 10;
+
+  /// Worker threads (shared ThreadPool) for the l disjoint partition fits.
+  /// The fits consume no randomness and are averaged in partition order, so
+  /// the released matrix is bit-identical for any thread count. 0 =
+  /// hardware concurrency, <= 1 = sequential.
+  int num_threads = 1;
 };
 
 /// Diagnostics reported alongside the private correlation matrix.

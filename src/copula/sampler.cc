@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "linalg/cholesky.h"
 #include "stats/distributions.h"
 #include "stats/normal.h"
@@ -36,26 +37,39 @@ Status ValidateSamplerInputs(
 Result<data::Table> SampleSyntheticData(
     const data::Schema& schema,
     const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
-    const linalg::Matrix& correlation, std::size_t num_rows, Rng* rng) {
+    const linalg::Matrix& correlation, std::size_t num_rows, Rng* rng,
+    int num_threads) {
   const std::size_t m = schema.num_attributes();
   DPC_RETURN_NOT_OK(ValidateSamplerInputs(schema, marginal_cdfs, correlation));
   DPC_ASSIGN_OR_RETURN(linalg::Matrix chol,
                        linalg::CholeskyDecompose(correlation));
 
   data::Table out = data::Table::Zeros(schema, num_rows);
-  std::vector<double> z(m), corr_z(m);
-  for (std::size_t r = 0; r < num_rows; ++r) {
-    for (std::size_t j = 0; j < m; ++j) z[j] = rng->NextGaussian();
-    for (std::size_t i = 0; i < m; ++i) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k <= i; ++k) acc += chol(i, k) * z[k];
-      corr_z[i] = acc;
-    }
-    for (std::size_t j = 0; j < m; ++j) {
-      const double t = stats::NormalCdf(corr_z[j]);
-      out.set(r, j, static_cast<double>(marginal_cdfs[j].InverseCdf(t)));
-    }
-  }
+  // Rows are sharded with a fixed grain and one split RNG per shard, so the
+  // output is bit-identical for every thread count (including 1). Each shard
+  // writes a disjoint row range of the column vectors — no synchronization
+  // needed.
+  ParallelForSharded(
+      0, num_rows, kSamplerShardRows, rng,
+      [&](std::size_t row_begin, std::size_t row_end, Rng* shard_rng) {
+        std::vector<double> z(m), corr_z(m);
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+          for (std::size_t j = 0; j < m; ++j) {
+            z[j] = shard_rng->NextGaussian();
+          }
+          for (std::size_t i = 0; i < m; ++i) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k <= i; ++k) acc += chol(i, k) * z[k];
+            corr_z[i] = acc;
+          }
+          for (std::size_t j = 0; j < m; ++j) {
+            const double t = stats::NormalCdf(corr_z[j]);
+            out.set(r, j,
+                    static_cast<double>(marginal_cdfs[j].InverseCdf(t)));
+          }
+        }
+      },
+      num_threads);
   return out;
 }
 
@@ -63,7 +77,7 @@ Result<data::Table> SampleSyntheticDataT(
     const data::Schema& schema,
     const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
     const linalg::Matrix& correlation, double dof, std::size_t num_rows,
-    Rng* rng) {
+    Rng* rng, int num_threads) {
   const std::size_t m = schema.num_attributes();
   DPC_RETURN_NOT_OK(ValidateSamplerInputs(schema, marginal_cdfs, correlation));
   if (!(dof > 0.0)) {
@@ -73,19 +87,27 @@ Result<data::Table> SampleSyntheticDataT(
                        linalg::CholeskyDecompose(correlation));
 
   data::Table out = data::Table::Zeros(schema, num_rows);
-  std::vector<double> z(m);
-  for (std::size_t r = 0; r < num_rows; ++r) {
-    for (std::size_t j = 0; j < m; ++j) z[j] = rng->NextGaussian();
-    // One chi-squared mixing variable per record gives the joint t.
-    const double w = stats::SampleChiSquared(rng, dof);
-    const double scale = std::sqrt(dof / w);
-    for (std::size_t i = 0; i < m; ++i) {
-      double acc = 0.0;
-      for (std::size_t k = 0; k <= i; ++k) acc += chol(i, k) * z[k];
-      const double t = stats::StudentTCdf(acc * scale, dof);
-      out.set(r, i, static_cast<double>(marginal_cdfs[i].InverseCdf(t)));
-    }
-  }
+  ParallelForSharded(
+      0, num_rows, kSamplerShardRows, rng,
+      [&](std::size_t row_begin, std::size_t row_end, Rng* shard_rng) {
+        std::vector<double> z(m);
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+          for (std::size_t j = 0; j < m; ++j) {
+            z[j] = shard_rng->NextGaussian();
+          }
+          // One chi-squared mixing variable per record gives the joint t.
+          const double w = stats::SampleChiSquared(shard_rng, dof);
+          const double scale = std::sqrt(dof / w);
+          for (std::size_t i = 0; i < m; ++i) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k <= i; ++k) acc += chol(i, k) * z[k];
+            const double t = stats::StudentTCdf(acc * scale, dof);
+            out.set(r, i,
+                    static_cast<double>(marginal_cdfs[i].InverseCdf(t)));
+          }
+        }
+      },
+      num_threads);
   return out;
 }
 

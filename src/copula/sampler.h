@@ -11,6 +11,12 @@
 
 namespace dpcopula::copula {
 
+/// Fixed row-shard size for parallel sampling. The shard decomposition
+/// (and therefore the per-shard RNG split sequence) depends only on
+/// `num_rows`, never on the thread count, so sampled tables are
+/// bit-identical for any `num_threads`.
+inline constexpr std::size_t kSamplerShardRows = 4096;
+
 /// Algorithm 3 — sampling DP synthetic data:
 ///  1a. draw z ~ N(0, correlation) (Cholesky of the DP correlation matrix);
 ///  1b. map to the unit cube via the standard normal CDF, t = Phi(z);
@@ -20,20 +26,27 @@ namespace dpcopula::copula {
 /// must contain one CDF per attribute (built from the DP marginal
 /// histograms). This is pure post-processing of DP outputs, so it consumes
 /// no privacy budget.
+///
+/// The row loop runs on the shared thread pool: rows are cut into
+/// kSamplerShardRows-sized shards, each with its own RNG split off `*rng`
+/// in shard order (1 thread and N threads give byte-identical tables).
+/// `num_threads`: 0 = hardware concurrency, <= 1 = sequential.
 Result<data::Table> SampleSyntheticData(
     const data::Schema& schema,
     const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
-    const linalg::Matrix& correlation, std::size_t num_rows, Rng* rng);
+    const linalg::Matrix& correlation, std::size_t num_rows, Rng* rng,
+    int num_threads = 1);
 
 /// t-copula variant of Algorithm 3 (the paper's future-work extension):
 /// draws x ~ t_dof(0, correlation), maps through the univariate t CDF, then
 /// through the inverse DP marginal CDFs. Captures symmetric tail dependence
-/// the Gaussian copula cannot express.
+/// the Gaussian copula cannot express. Parallelized identically to
+/// SampleSyntheticData (thread-count invariant output).
 Result<data::Table> SampleSyntheticDataT(
     const data::Schema& schema,
     const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
     const linalg::Matrix& correlation, double dof, std::size_t num_rows,
-    Rng* rng);
+    Rng* rng, int num_threads = 1);
 
 }  // namespace dpcopula::copula
 

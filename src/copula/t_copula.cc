@@ -58,9 +58,11 @@ Result<double> TCopula::LogDensity(const std::vector<double>& u) const {
   const double md = static_cast<double>(m);
   // log multivariate-t density constant terms minus the product of the
   // univariate t densities.
-  double log_c = std::lgamma((dof_ + md) / 2.0) +
-                 (md - 1.0) * std::lgamma(dof_ / 2.0) -
-                 md * std::lgamma((dof_ + 1.0) / 2.0) - 0.5 * log_det_;
+  // stats::LogGamma, not std::lgamma: this runs inside concurrently
+  // executing hybrid partitions and must not touch the signgam global.
+  double log_c = stats::LogGamma((dof_ + md) / 2.0) +
+                 (md - 1.0) * stats::LogGamma(dof_ / 2.0) -
+                 md * stats::LogGamma((dof_ + 1.0) / 2.0) - 0.5 * log_det_;
   log_c -= (dof_ + md) / 2.0 * std::log1p(quad / dof_);
   for (std::size_t j = 0; j < m; ++j) {
     log_c += (dof_ + 1.0) / 2.0 * std::log1p(x[j] * x[j] / dof_);

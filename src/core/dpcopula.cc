@@ -134,10 +134,12 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
       case CorrelationEstimator::kKendall: {
         DPC_RETURN_NOT_OK(
             result.budget.Charge(epsilon2, "correlation:kendall"));
+        copula::KendallEstimatorOptions kendall_opts = options.kendall;
+        kendall_opts.num_threads = options.num_threads;
         DPC_ASSIGN_OR_RETURN(
             copula::KendallEstimate est,
             copula::EstimateKendallCorrelation(table, epsilon2, rng,
-                                               options.kendall));
+                                               kendall_opts));
         result.correlation = std::move(est.correlation);
         result.kendall_rows_used = est.rows_used;
         result.correlation_repaired = est.repaired;
@@ -145,9 +147,11 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
       }
       case CorrelationEstimator::kMle: {
         DPC_RETURN_NOT_OK(result.budget.Charge(epsilon2, "correlation:mle"));
+        copula::MleEstimatorOptions mle_opts = options.mle;
+        mle_opts.num_threads = options.num_threads;
         DPC_ASSIGN_OR_RETURN(
             copula::MleEstimate est,
-            copula::EstimateMleCorrelation(table, epsilon2, rng, options.mle));
+            copula::EstimateMleCorrelation(table, epsilon2, rng, mle_opts));
         result.correlation = std::move(est.correlation);
         result.mle_partitions = est.num_partitions;
         result.correlation_repaired = est.repaired;
@@ -203,12 +207,13 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
     DPC_ASSIGN_OR_RETURN(
         result.synthetic,
         copula::SampleSyntheticDataT(table.schema(), cdfs, result.correlation,
-                                     result.t_dof_used, out_rows, rng));
+                                     result.t_dof_used, out_rows, rng,
+                                     options.num_threads));
   } else {
     DPC_ASSIGN_OR_RETURN(
         result.synthetic,
         copula::SampleSyntheticData(table.schema(), cdfs, result.correlation,
-                                    out_rows, rng));
+                                    out_rows, rng, options.num_threads));
   }
   return result;
 }

@@ -76,6 +76,14 @@ struct DpCopulaOptions {
   /// hybrid algorithm passes the noisy per-partition counts here.)
   std::size_t num_synthetic_rows = 0;
 
+  /// Worker threads for the whole synthesis pipeline (shared ThreadPool):
+  /// Algorithm 3 row sampling plus the correlation estimator (overrides the
+  /// `num_threads` inside `kendall` / `mle` when running via Synthesize).
+  /// Every parallel path shards work and RNG streams deterministically, so
+  /// output is bit-identical for any value. 0 = hardware concurrency,
+  /// <= 1 = sequential.
+  int num_threads = 1;
+
   /// Emits round(oversample_factor * rows) synthetic rows instead. Because
   /// sampling is post-processing, oversampling is privacy-free and shrinks
   /// the binomial sampling noise of range-count answers; consumers must

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "stats/distributions.h"
 
 namespace dpcopula::core {
@@ -77,58 +78,110 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
   out.epsilon_copula = eps_copula;
   out.synthetic = data::Table(schema);
 
+  // Enumerate every small-attribute combination up front, then pre-split
+  // one RNG per partition (in combo order). Each partition's noise draws
+  // and inner DPCopula run consume only its own stream, so the release is
+  // bit-identical for any thread count — and for num_threads == 1.
+  std::vector<std::vector<std::int64_t>> combos;
+  combos.reserve(static_cast<std::size_t>(num_partitions));
   std::vector<std::int64_t> combo(small_cols.size(), 0);
   do {
-    // Filter rows matching this small-attribute combination.
-    data::Table part = table;
-    for (std::size_t t = 0; t < small_cols.size(); ++t) {
-      part = part.Filter(small_cols[t], static_cast<double>(combo[t]));
-    }
+    combos.push_back(combo);
+  } while (AdvanceCombo(&combo, radix));
+  std::vector<Rng> part_rngs;
+  part_rngs.reserve(combos.size());
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    part_rngs.push_back(rng->Split());
+  }
 
-    // Step 2: noisy partition count (Lap(1/eps_counts); partitions are
-    // disjoint, so parallel composition charges eps_counts once overall).
-    const double noisy = static_cast<double>(part.num_rows()) +
-                         stats::SampleLaplace(rng, 1.0 / eps_counts);
-    const auto n_synth = static_cast<std::int64_t>(std::llround(noisy));
-    if (n_synth <= 0) {
+  struct PartitionOutput {
+    Status status = Status::OK();
+    bool skipped = false;
+    data::Table synth;
+  };
+  std::vector<PartitionOutput> parts(combos.size());
+
+  ParallelFor(
+      0, combos.size(), /*grain=*/1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          const std::vector<std::int64_t>& c = combos[p];
+          Rng* part_rng = &part_rngs[p];
+          PartitionOutput& po = parts[p];
+
+          // Filter rows matching this small-attribute combination.
+          data::Table part = table;
+          for (std::size_t t = 0; t < small_cols.size(); ++t) {
+            part = part.Filter(small_cols[t], static_cast<double>(c[t]));
+          }
+
+          // Step 2: noisy partition count (Lap(1/eps_counts); partitions
+          // are disjoint, so parallel composition charges eps_counts once
+          // overall).
+          const double noisy =
+              static_cast<double>(part.num_rows()) +
+              stats::SampleLaplace(part_rng, 1.0 / eps_counts);
+          const auto n_synth =
+              static_cast<std::int64_t>(std::llround(noisy));
+          if (n_synth <= 0) {
+            po.skipped = true;
+            continue;
+          }
+
+          data::Table part_synth;
+          if (large_cols.empty()) {
+            // Degenerate: all attributes are small-domain — this is a
+            // noisy contingency table; emit n_synth copies of the combo.
+            part_synth =
+                data::Table::Zeros(schema, static_cast<std::size_t>(n_synth));
+            for (std::size_t t = 0; t < small_cols.size(); ++t) {
+              auto& col = part_synth.mutable_column(small_cols[t]);
+              std::fill(col.begin(), col.end(), static_cast<double>(c[t]));
+            }
+          } else {
+            // Step 3: DPCopula on the large-domain projection of this
+            // partition.
+            auto projected = part.Project(large_cols);
+            if (!projected.ok()) {
+              po.status = projected.status();
+              continue;
+            }
+            DpCopulaOptions inner = options.inner;
+            inner.epsilon = eps_copula;
+            inner.num_synthetic_rows = static_cast<std::size_t>(n_synth);
+            auto res = Synthesize(*projected, inner, part_rng);
+            if (!res.ok()) {
+              po.status = res.status();
+              continue;
+            }
+
+            // Reassemble in original column order.
+            part_synth =
+                data::Table::Zeros(schema, static_cast<std::size_t>(n_synth));
+            for (std::size_t t = 0; t < small_cols.size(); ++t) {
+              auto& col = part_synth.mutable_column(small_cols[t]);
+              std::fill(col.begin(), col.end(), static_cast<double>(c[t]));
+            }
+            for (std::size_t t = 0; t < large_cols.size(); ++t) {
+              part_synth.mutable_column(large_cols[t]) =
+                  res->synthetic.column(t);
+            }
+          }
+          po.synth = std::move(part_synth);
+        }
+      },
+      options.num_threads);
+
+  // Stitch partitions back together in combo order (deterministic output
+  // row order, independent of scheduling).
+  for (PartitionOutput& po : parts) {
+    DPC_RETURN_NOT_OK(po.status);
+    if (po.skipped) {
       ++out.num_skipped_partitions;
       continue;
     }
-
-    data::Table part_synth;
-    if (large_cols.empty()) {
-      // Degenerate: all attributes are small-domain — this is a noisy
-      // contingency table; emit n_synth copies of the combo.
-      part_synth =
-          data::Table::Zeros(schema, static_cast<std::size_t>(n_synth));
-      for (std::size_t t = 0; t < small_cols.size(); ++t) {
-        auto& col = part_synth.mutable_column(small_cols[t]);
-        std::fill(col.begin(), col.end(), static_cast<double>(combo[t]));
-      }
-    } else {
-      // Step 3: DPCopula on the large-domain projection of this partition.
-      DPC_ASSIGN_OR_RETURN(data::Table projected, part.Project(large_cols));
-      DpCopulaOptions inner = options.inner;
-      inner.epsilon = eps_copula;
-      inner.num_synthetic_rows = static_cast<std::size_t>(n_synth);
-      DPC_ASSIGN_OR_RETURN(SynthesisResult res,
-                           Synthesize(projected, inner, rng));
-
-      // Reassemble in original column order.
-      part_synth =
-          data::Table::Zeros(schema, static_cast<std::size_t>(n_synth));
-      for (std::size_t t = 0; t < small_cols.size(); ++t) {
-        auto& col = part_synth.mutable_column(small_cols[t]);
-        std::fill(col.begin(), col.end(), static_cast<double>(combo[t]));
-      }
-      for (std::size_t t = 0; t < large_cols.size(); ++t) {
-        part_synth.mutable_column(large_cols[t]) =
-            res.synthetic.column(t);
-      }
-    }
-    DPC_RETURN_NOT_OK(out.synthetic.Concat(part_synth));
-  } while (AdvanceCombo(&combo, radix));
-
+    DPC_RETURN_NOT_OK(out.synthetic.Concat(po.synth));
+  }
   return out;
 }
 

@@ -35,6 +35,15 @@ struct HybridOptions {
 
   /// Total privacy budget of the hybrid release.
   double epsilon = 1.0;
+
+  /// Worker threads (shared ThreadPool) for the per-partition DPCopula
+  /// runs. Each partition's noise draws come from an RNG pre-split in
+  /// partition order, and partitions are concatenated in that same order,
+  /// so the release is bit-identical for any thread count. Inner synthesis
+  /// calls running on pool workers execute their own loops inline (no
+  /// nested oversubscription). 0 = hardware concurrency, <= 1 =
+  /// sequential.
+  int num_threads = 1;
 };
 
 /// Diagnostics of one hybrid run.

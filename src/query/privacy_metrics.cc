@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "common/parallel.h"
+
 namespace dpcopula::query {
 
 namespace {
@@ -50,7 +52,8 @@ std::vector<std::size_t> SubsampleRows(std::size_t n, std::size_t max_rows) {
 
 Result<DcrStats> DistanceToClosestRecord(const data::Table& synthetic,
                                          const data::Table& reference,
-                                         std::size_t max_rows) {
+                                         std::size_t max_rows,
+                                         int num_threads) {
   if (!(synthetic.schema() == reference.schema())) {
     return Status::InvalidArgument("DCR: schema mismatch");
   }
@@ -61,16 +64,22 @@ Result<DcrStats> DistanceToClosestRecord(const data::Table& synthetic,
   const auto synth_rows = SubsampleRows(synthetic.num_rows(), max_rows);
   const auto ref_rows = SubsampleRows(reference.num_rows(), max_rows);
 
-  std::vector<double> dcr;
-  dcr.reserve(synth_rows.size());
-  for (std::size_t s : synth_rows) {
-    double best = 1e300;
-    for (std::size_t r : ref_rows) {
-      best = std::min(best, RowDistance(synthetic, s, reference, r, inv));
-      if (best == 0.0) break;
-    }
-    dcr.push_back(best);
-  }
+  std::vector<double> dcr(synth_rows.size(), 0.0);
+  ParallelFor(
+      0, synth_rows.size(), /*grain=*/64,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t s = synth_rows[i];
+          double best = 1e300;
+          for (std::size_t r : ref_rows) {
+            best =
+                std::min(best, RowDistance(synthetic, s, reference, r, inv));
+            if (best == 0.0) break;
+          }
+          dcr[i] = best;
+        }
+      },
+      num_threads);
   std::sort(dcr.begin(), dcr.end());
   DcrStats stats;
   for (double d : dcr) {

@@ -28,10 +28,14 @@ struct DcrStats {
 
 /// Computes DCR of `synthetic` rows against `reference` rows. O(|synthetic|
 /// * |reference| * m); cap sizes accordingly (both are subsampled to
-/// `max_rows` rows if larger).
+/// `max_rows` rows if larger). The per-synthetic-row nearest-neighbour
+/// scans are RNG-free and independent, so they run on the shared
+/// ThreadPool; `num_threads`: 0 = hardware concurrency, <= 1 = sequential
+/// (identical result either way).
 Result<DcrStats> DistanceToClosestRecord(const data::Table& synthetic,
                                          const data::Table& reference,
-                                         std::size_t max_rows = 2000);
+                                         std::size_t max_rows = 2000,
+                                         int num_threads = 1);
 
 /// Attribute-disclosure risk: an adversary knowing all attributes except
 /// `target_column` finds the nearest synthetic row on the known attributes

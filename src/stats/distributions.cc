@@ -4,7 +4,22 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__GLIBC__) || defined(__APPLE__)
+// Not declared under strict-ANSI C++ modes, but always present in libm.
+extern "C" double lgamma_r(double, int*);
+#define DPCOPULA_HAVE_LGAMMA_R 1
+#endif
+
 namespace dpcopula::stats {
+
+double LogGamma(double x) {
+#ifdef DPCOPULA_HAVE_LGAMMA_R
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);  // MT-Unsafe fallback (races on signgam).
+#endif
+}
 
 double SampleLaplace(Rng* rng, double scale) {
   assert(scale > 0.0);
@@ -90,7 +105,7 @@ double ExponentialCdf(double x, double rate) {
 
 double RegularizedGammaP(double shape, double x) {
   if (x <= 0.0) return 0.0;
-  const double lg = std::lgamma(shape);
+  const double lg = LogGamma(shape);
   if (x < shape + 1.0) {
     // Series expansion.
     double term = 1.0 / shape;
@@ -134,7 +149,7 @@ double RegularizedIncompleteBeta(double a, double b, double x) {
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
   const double ln_beta =
-      std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+      LogGamma(a) + LogGamma(b) - LogGamma(a + b);
   const double front =
       std::exp(a * std::log(x) + b * std::log(1.0 - x) - ln_beta);
 
@@ -184,7 +199,7 @@ double StudentTCdf(double x, double dof) {
 }
 
 double StudentTPdf(double x, double dof) {
-  const double c = std::lgamma((dof + 1.0) / 2.0) - std::lgamma(dof / 2.0) -
+  const double c = LogGamma((dof + 1.0) / 2.0) - LogGamma(dof / 2.0) -
                    0.5 * std::log(dof * M_PI);
   return std::exp(c - (dof + 1.0) / 2.0 * std::log1p(x * x / dof));
 }

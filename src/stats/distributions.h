@@ -36,6 +36,11 @@ std::size_t SampleZipf(Rng* rng, const std::vector<double>& zipf_cdf);
 double LaplaceCdf(double x, double scale);
 double ExponentialCdf(double x, double rate);
 
+/// Thread-safe log-gamma. std::lgamma writes the process-global `signgam`
+/// (POSIX marks it MT-Unsafe), which races once CDF evaluations run on the
+/// shared thread pool; this wraps the reentrant lgamma_r where available.
+double LogGamma(double x);
+
 /// Regularized lower incomplete gamma P(shape, x); used by GammaCdf.
 double RegularizedGammaP(double shape, double x);
 double GammaCdf(double x, double shape, double scale);

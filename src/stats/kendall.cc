@@ -101,12 +101,17 @@ Result<double> KendallTau(const std::vector<double>& x,
 
   // Discordant pairs among x-distinct pairs = inversions of y in x-order
   // (pairs with equal x contribute no inversion because their y's are sorted
-  // ascending within the group).
-  const std::uint64_t inversions = CountInversions(ys);
+  // ascending within the group). The merge sort leaves `y_sorted` fully
+  // sorted, which the tie count below reuses — one O(n log n) sort instead
+  // of two per pair.
+  std::vector<double> y_sorted = ys;
+  std::uint64_t inversions = 0;
+  {
+    std::vector<double> scratch(n);
+    inversions = MergeCountInversions(&y_sorted, &scratch, 0, n);
+  }
 
   // Pairs tied on y overall.
-  std::vector<double> y_sorted = ys;
-  std::sort(y_sorted.begin(), y_sorted.end());
   const std::uint64_t ties_y = TiedPairs(y_sorted);
 
   const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;

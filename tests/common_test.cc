@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <numeric>
 #include <set>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -190,6 +194,109 @@ TEST(RngTest, SplitDecorrelates) {
     if (child.NextUint64() == parent.NextUint64()) ++equal;
   }
   EXPECT_LT(equal, 4);
+}
+
+TEST(ParallelTest, ResolveNumThreads) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(-3), 1);
+  EXPECT_EQ(ResolveNumThreads(5), 5);
+  EXPECT_EQ(ResolveNumThreads(0), HardwareThreads());
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(ParallelTest, MakeShardsCoversRangeExactlyOnce) {
+  for (std::size_t n : {0UL, 1UL, 7UL, 100UL, 1000UL}) {
+    for (std::size_t grain : {1UL, 3UL, 64UL, 5000UL}) {
+      const auto shards = MakeShards(0, n, grain);
+      std::size_t covered = 0;
+      std::size_t expect_begin = 0;
+      for (const auto& s : shards) {
+        EXPECT_EQ(s.begin, expect_begin);
+        EXPECT_LT(s.begin, s.end);
+        EXPECT_LE(s.end - s.begin, grain);
+        covered += s.end - s.begin;
+        expect_begin = s.end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ParallelTest, ParallelForVisitsEveryIndexOnce) {
+  for (int threads : {1, 2, 8}) {
+    const std::size_t n = 10007;
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v.store(0);
+    ParallelFor(
+        0, n, 17,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            visits[i].fetch_add(1);
+          }
+        },
+        threads);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelTest, ParallelForShardedIsThreadCountInvariant) {
+  // Per-shard RNG streams: filling a buffer must give identical bytes for
+  // any thread count, and must advance the parent identically.
+  auto fill = [](int threads, std::vector<std::uint64_t>* out,
+                 std::uint64_t* parent_after) {
+    Rng rng(321);
+    out->assign(1000, 0);
+    ParallelForSharded(
+        0, 1000, 64, &rng,
+        [&](std::size_t begin, std::size_t end, Rng* shard_rng) {
+          for (std::size_t i = begin; i < end; ++i) {
+            (*out)[i] = shard_rng->NextUint64();
+          }
+        },
+        threads);
+    *parent_after = rng.NextUint64();
+  };
+  std::vector<std::uint64_t> base, other;
+  std::uint64_t base_parent = 0, other_parent = 0;
+  fill(1, &base, &base_parent);
+  for (int threads : {2, 3, 16}) {
+    fill(threads, &other, &other_parent);
+    EXPECT_EQ(base, other) << "threads=" << threads;
+    EXPECT_EQ(base_parent, other_parent) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, NestedParallelForRunsInline) {
+  // A ParallelFor inside a pool task must not deadlock (workers never
+  // block on queued subtasks — nested loops run inline).
+  std::atomic<std::size_t> total{0};
+  ParallelFor(
+      0, 8, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ParallelFor(
+              0, 100, 10,
+              [&](std::size_t b, std::size_t e) {
+                total.fetch_add(e - b);
+              },
+              8);
+        }
+      },
+      8);
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ParallelTest, EmptyAndSingleRangesWork) {
+  int calls = 0;
+  ParallelFor(
+      5, 5, 4, [&](std::size_t, std::size_t) { ++calls; }, 8);
+  EXPECT_EQ(calls, 0);
+  Rng rng(1);
+  ParallelForSharded(
+      0, 1, 4, &rng, [&](std::size_t, std::size_t, Rng*) { ++calls; }, 8);
+  EXPECT_EQ(calls, 1);
 }
 
 }  // namespace

@@ -7,10 +7,14 @@
 #include "baselines/privelet.h"
 #include "baselines/psd.h"
 #include "common/rng.h"
+#include "copula/kendall_estimator.h"
+#include "copula/mle_estimator.h"
+#include "copula/sampler.h"
 #include "core/dpcopula.h"
 #include "core/hybrid.h"
 #include "data/census.h"
 #include "data/generator.h"
+#include "stats/empirical_cdf.h"
 
 namespace dpcopula {
 namespace {
@@ -97,6 +101,139 @@ TEST(DeterminismTest, BaselinesAreSeedDeterministic) {
     ASSERT_TRUE(b.ok());
     EXPECT_DOUBLE_EQ((*a)->EstimateRangeCount({5, 5}, {60, 80}),
                      (*b)->EstimateRangeCount({5, 5}, {60, 80}));
+  }
+}
+
+// --- Thread-count invariance -------------------------------------------
+//
+// The parallel execution layer (common/parallel.h) must produce
+// byte-identical output for every num_threads value: shards and their RNG
+// streams are derived from the problem size alone, never from the
+// schedule. 7 is deliberately coprime with typical shard counts.
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+TEST(DeterminismTest, SamplerIsThreadCountInvariant) {
+  const std::size_t m = 4;
+  std::vector<data::Attribute> attrs;
+  std::vector<stats::EmpiricalCdf> cdfs;
+  for (std::size_t j = 0; j < m; ++j) {
+    attrs.push_back({"x" + std::to_string(j), 32});
+    std::vector<double> counts(32, 1.0);
+    cdfs.push_back(*stats::EmpiricalCdf::FromCounts(counts));
+  }
+  const data::Schema schema(attrs);
+  const linalg::Matrix corr = *data::Equicorrelation(m, 0.3);
+
+  // > kSamplerShardRows rows so the parallel runs really span shards.
+  const std::size_t rows = copula::kSamplerShardRows * 3 + 123;
+  Rng r1(77);
+  auto base = copula::SampleSyntheticData(schema, cdfs, corr, rows, &r1, 1);
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    Rng rn(77);
+    auto out =
+        copula::SampleSyntheticData(schema, cdfs, corr, rows, &rn, threads);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(TablesEqual(*base, *out)) << "threads=" << threads;
+  }
+  // The t sampler shares the sharding scheme.
+  Rng t1(78);
+  auto t_base =
+      copula::SampleSyntheticDataT(schema, cdfs, corr, 5.0, rows, &t1, 1);
+  ASSERT_TRUE(t_base.ok());
+  for (int threads : kThreadCounts) {
+    Rng tn(78);
+    auto out = copula::SampleSyntheticDataT(schema, cdfs, corr, 5.0, rows,
+                                            &tn, threads);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(TablesEqual(*t_base, *out)) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, KendallEstimatorIsThreadCountInvariant) {
+  Rng data_rng(4);
+  std::vector<data::MarginSpec> specs;
+  for (int j = 0; j < 5; ++j) {
+    specs.push_back(
+        data::MarginSpec::Gaussian("g" + std::to_string(j), 64));
+  }
+  auto t = data::GenerateGaussianDependent(
+      specs, *data::Equicorrelation(5, 0.4), 1500, &data_rng);
+  ASSERT_TRUE(t.ok());
+  copula::KendallEstimatorOptions opts;
+  opts.num_threads = 1;
+  Rng r1(55);
+  auto base = copula::EstimateKendallCorrelation(*t, 0.5, &r1, opts);
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    opts.num_threads = threads;
+    Rng rn(55);
+    auto est = copula::EstimateKendallCorrelation(*t, 0.5, &rn, opts);
+    ASSERT_TRUE(est.ok());
+    EXPECT_EQ(base->correlation.MaxAbsDiff(est->correlation), 0.0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, MleEstimatorIsThreadCountInvariant) {
+  data::Table t = MakeTable(9);
+  copula::MleEstimatorOptions opts;
+  opts.num_partitions = 16;
+  opts.num_threads = 1;
+  Rng r1(66);
+  auto base = copula::EstimateMleCorrelation(t, 0.5, &r1, opts);
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    opts.num_threads = threads;
+    Rng rn(66);
+    auto est = copula::EstimateMleCorrelation(t, 0.5, &rn, opts);
+    ASSERT_TRUE(est.ok());
+    EXPECT_EQ(base->correlation.MaxAbsDiff(est->correlation), 0.0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, SynthesizeIsThreadCountInvariant) {
+  data::Table t = MakeTable(21);
+  core::DpCopulaOptions opts;
+  opts.epsilon = 1.0;
+  opts.num_threads = 1;
+  Rng r1(111);
+  auto base = core::Synthesize(t, opts, &r1);
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    opts.num_threads = threads;
+    Rng rn(111);
+    auto res = core::Synthesize(t, opts, &rn);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(TablesEqual(base->synthetic, res->synthetic))
+        << "threads=" << threads;
+    EXPECT_EQ(base->correlation.MaxAbsDiff(res->correlation), 0.0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, HybridIsThreadCountInvariant) {
+  Rng data_rng(12);
+  auto t = data::GenerateUsCensus(3000, &data_rng);
+  ASSERT_TRUE(t.ok());
+  core::HybridOptions opts;
+  opts.epsilon = 1.0;
+  opts.num_threads = 1;
+  Rng r1(222);
+  auto base = core::SynthesizeHybrid(*t, opts, &r1);
+  ASSERT_TRUE(base.ok());
+  for (int threads : kThreadCounts) {
+    opts.num_threads = threads;
+    // Nested parallelism: the inner DPCopula runs also request threads;
+    // pool workers execute them inline, and the output must not change.
+    opts.inner.num_threads = threads;
+    Rng rn(222);
+    auto res = core::SynthesizeHybrid(*t, opts, &rn);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(TablesEqual(base->synthetic, res->synthetic))
+        << "threads=" << threads;
+    EXPECT_EQ(base->num_skipped_partitions, res->num_skipped_partitions);
   }
 }
 

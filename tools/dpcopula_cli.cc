@@ -16,6 +16,8 @@
 //   --no-hybrid         disable Algorithm 6 partitioning on small domains
 //   --rows N            synthetic rows (default: same as input)
 //   --oversample X      oversampling factor (default 1)
+//   --threads N         worker threads (0 = all hardware threads; default 0;
+//                       output is identical for every value)
 //   --seed N            RNG seed (default 42)
 //   --model-out PATH    also save the fitted DP model (non-hybrid only)
 //   --model-in PATH     skip fitting: load a saved model and sample from it
@@ -43,6 +45,7 @@ struct CliArgs {
   bool hybrid = true;
   long long rows = 0;
   double oversample = 1.0;
+  int threads = 0;  // 0 = hardware concurrency.
   unsigned long long seed = 42;
   std::string model_out;
   std::string model_in;
@@ -53,7 +56,7 @@ void Usage(const char* argv0) {
                "usage: %s --input data.csv --output synth.csv "
                "[--epsilon X] [--k X] [--estimator kendall|mle] "
                "[--family gaussian|t|auto] [--t-dof X] [--no-hybrid] "
-               "[--rows N] [--oversample X] [--seed N]\n",
+               "[--rows N] [--oversample X] [--threads N] [--seed N]\n",
                argv0);
 }
 
@@ -101,6 +104,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->oversample = std::atof(v);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args->threads = std::atoi(v);
     } else if (flag == "--seed") {
       const char* v = next();
       if (!v) return false;
@@ -176,6 +183,7 @@ int main(int argc, char** argv) {
   inner.epsilon = args.epsilon;
   inner.budget_ratio_k = args.k;
   inner.oversample_factor = args.oversample;
+  inner.num_threads = args.threads;
   if (args.rows > 0) {
     inner.num_synthetic_rows = static_cast<std::size_t>(args.rows);
   }
@@ -201,6 +209,7 @@ int main(int argc, char** argv) {
     core::HybridOptions hybrid;
     hybrid.epsilon = args.epsilon;
     hybrid.inner = inner;
+    hybrid.num_threads = args.threads;
     auto result = core::SynthesizeHybrid(*table, hybrid, &rng);
     if (!result.ok()) {
       std::fprintf(stderr, "synthesis failed: %s\n",
