@@ -1,0 +1,103 @@
+// Overhead of the observability layer on the end-to-end pipeline.
+//
+// Three runtime modes over identical Synthesize runs (same data, same
+// seed, so the work is byte-identical by the determinism guarantee):
+//
+//   disabled       ObsConfig all off — one relaxed atomic load per
+//                  instrumentation site. This is the default for library
+//                  users and must stay within ~2% of a build with
+//                  -DDPCOPULA_OBS=OFF (compare externally by rebuilding).
+//   metrics        counters/gauges/histograms on, tracing off.
+//   metrics+trace  everything on, as `dpcopula --trace-json` configures.
+//
+// Reports median seconds per run and the overhead relative to `disabled`.
+// Run with DPCOPULA_BENCH_FULL=1 for a paper-scale table.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dpcopula.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+using namespace dpcopula;  // NOLINT(build/namespaces) — bench binary.
+
+namespace {
+
+double MedianRunSeconds(const data::Table& table,
+                        const core::DpCopulaOptions& options,
+                        std::size_t repeats) {
+  std::vector<double> seconds;
+  seconds.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    Rng rng(1234);  // Same seed every repeat: identical work.
+    bench::Timer timer;
+    auto result = core::Synthesize(table, options, &rng);
+    seconds.push_back(timer.Seconds());
+    if (!result.ok()) {
+      std::fprintf(stderr, "synthesize failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  query::ExperimentConfig cfg = query::ExperimentConfig::FromEnvironment();
+  const std::size_t rows =
+      static_cast<std::size_t>(std::min<std::int64_t>(cfg.num_tuples, 200000));
+  constexpr std::size_t kColumns = 6;
+  constexpr std::size_t kRepeats = 5;
+
+  Rng data_rng(cfg.seed);
+  data::Table table = bench::MakeGaussianTable(rows, kColumns, 64, &data_rng);
+
+  core::DpCopulaOptions options;
+  options.epsilon = 1.0;
+  options.num_threads = 0;  // All hardware threads — the worst case for
+                            // shared-counter contention.
+
+  std::printf("=== observability overhead (n=%zu, m=%zu, %zu repeats) ===\n",
+              rows, kColumns, kRepeats);
+  std::printf("obs compiled in: %s\n",
+#if DPCOPULA_OBS_ENABLED
+              "yes"
+#else
+              "no (all modes are identical no-ops)"
+#endif
+  );
+
+  struct Mode {
+    const char* name;
+    obs::ObsConfig config;
+  };
+  std::vector<Mode> modes(3);
+  modes[0].name = "disabled";
+  modes[1].name = "metrics";
+  modes[1].config.metrics = true;
+  modes[2].name = "metrics+trace";
+  modes[2].config.metrics = true;
+  modes[2].config.trace = true;
+
+  double baseline = 0.0;
+  bench::PrintSeriesHeader("mode", {"median_s", "overhead_%"});
+  for (const Mode& mode : modes) {
+    obs::SetObsConfig(mode.config);
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::Tracer::Global().Reset();
+    // One warm-up run outside the timer (pool spin-up, registry fills).
+    MedianRunSeconds(table, options, 1);
+    const double median = MedianRunSeconds(table, options, kRepeats);
+    if (baseline == 0.0) baseline = median;
+    bench::PrintSeriesRowLabel(
+        mode.name, {median, 100.0 * (median - baseline) / baseline});
+  }
+  obs::SetObsConfig(obs::ObsConfig{});
+  return 0;
+}

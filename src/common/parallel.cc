@@ -7,7 +7,39 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace dpcopula {
+
+namespace {
+
+// Pool observability. Everything is per-Run/per-call granularity (no
+// per-task-element updates), so the counters cost nothing measurable even
+// with metrics enabled.
+struct PoolMetrics {
+  obs::Counter* pool_runs;        // Run() calls that actually fanned out.
+  obs::Counter* inline_runs;      // Run()/ParallelFor calls executed inline.
+  obs::Counter* nested_inline;    // Inline because caller is a pool worker.
+  obs::Counter* pool_tasks;       // Tasks executed across all Run() calls.
+  obs::Counter* shards;           // Shards created by ParallelFor*().
+  obs::Counter* rng_splits;       // Shard RNG streams pre-derived.
+  obs::Gauge* queue_depth;        // Queue length right after an enqueue.
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m = {
+      obs::MetricsRegistry::Global().GetCounter("parallel.pool_runs"),
+      obs::MetricsRegistry::Global().GetCounter("parallel.inline_runs"),
+      obs::MetricsRegistry::Global().GetCounter("parallel.nested_inline"),
+      obs::MetricsRegistry::Global().GetCounter("parallel.pool_tasks"),
+      obs::MetricsRegistry::Global().GetCounter("parallel.shards"),
+      obs::MetricsRegistry::Global().GetCounter("parallel.rng_splits"),
+      obs::MetricsRegistry::Global().GetGauge("parallel.queue_depth"),
+  };
+  return m;
+}
+
+}  // namespace
 
 int HardwareThreads() {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -89,8 +121,17 @@ void ThreadPool::Run(std::size_t num_tasks, int max_parallelism,
                         num_tasks, static_cast<std::size_t>(
                                        num_workers() + 1))));
   if (parallelism <= 1 || num_tasks == 1 || InWorker()) {
+    if (obs::MetricsEnabled()) {
+      Metrics().inline_runs->Increment();
+      if (InWorker()) Metrics().nested_inline->Increment();
+      Metrics().pool_tasks->Add(static_cast<std::int64_t>(num_tasks));
+    }
     for (std::size_t i = 0; i < num_tasks; ++i) task(i);
     return;
+  }
+  if (obs::MetricsEnabled()) {
+    Metrics().pool_runs->Increment();
+    Metrics().pool_tasks->Add(static_cast<std::int64_t>(num_tasks));
   }
 
   struct RunState {
@@ -122,6 +163,7 @@ void ThreadPool::Run(std::size_t num_tasks, int max_parallelism,
     for (int h = 0; h < parallelism - 1; ++h) {
       impl_->queue.emplace_back([state, drain] { drain(state); });
     }
+    Metrics().queue_depth->Set(static_cast<double>(impl_->queue.size()));
   }
   impl_->cv.notify_all();
 
@@ -156,6 +198,12 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
   const int threads = ResolveNumThreads(num_threads);
   const std::size_t g = std::max<std::size_t>(1, grain);
   if (threads <= 1 || end - begin <= g || ThreadPool::InWorker()) {
+    if (obs::MetricsEnabled()) {
+      Metrics().inline_runs->Increment();
+      if (ThreadPool::InWorker()) Metrics().nested_inline->Increment();
+      Metrics().shards->Add(
+          static_cast<std::int64_t>((end - begin + g - 1) / g));
+    }
     // Single shard-sized chunks keep cache behaviour identical to the
     // parallel path (same loop bounds per call).
     for (std::size_t lo = begin; lo < end; lo += g) {
@@ -164,6 +212,9 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
     return;
   }
   const std::vector<Shard> shards = MakeShards(begin, end, g);
+  if (obs::MetricsEnabled()) {
+    Metrics().shards->Add(static_cast<std::int64_t>(shards.size()));
+  }
   ThreadPool::Global().Run(
       shards.size(), threads,
       [&](std::size_t i) { fn(shards[i].begin, shards[i].end); });
@@ -183,8 +234,16 @@ void ParallelForSharded(
   for (std::size_t i = 0; i < shards.size(); ++i) {
     shard_rngs.push_back(rng->Split());
   }
+  if (obs::MetricsEnabled()) {
+    Metrics().shards->Add(static_cast<std::int64_t>(shards.size()));
+    Metrics().rng_splits->Add(static_cast<std::int64_t>(shards.size()));
+  }
   const int threads = ResolveNumThreads(num_threads);
   if (threads <= 1 || shards.size() == 1 || ThreadPool::InWorker()) {
+    if (obs::MetricsEnabled()) {
+      Metrics().inline_runs->Increment();
+      if (ThreadPool::InWorker()) Metrics().nested_inline->Increment();
+    }
     for (std::size_t i = 0; i < shards.size(); ++i) {
       fn(shards[i].begin, shards[i].end, &shard_rngs[i]);
     }

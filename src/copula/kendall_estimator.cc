@@ -8,6 +8,9 @@
 #include "common/parallel.h"
 #include "linalg/cholesky.h"
 #include "linalg/psd_repair.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distributions.h"
 #include "stats/kendall.h"
 
@@ -22,6 +25,16 @@ std::int64_t AdequateKendallSampleSize(std::size_t m, double epsilon2) {
 Result<KendallEstimate> EstimateKendallCorrelation(
     const data::Table& table, double epsilon2, Rng* rng,
     const KendallEstimatorOptions& options) {
+  static obs::Counter* const pairs_counter =
+      obs::MetricsRegistry::Global().GetCounter("kendall.pairs_computed");
+  static obs::Counter* const subsampled_runs =
+      obs::MetricsRegistry::Global().GetCounter("kendall.subsampled_runs");
+  static obs::Counter* const repairs_counter =
+      obs::MetricsRegistry::Global().GetCounter("kendall.psd_repairs");
+  static obs::Gauge* const subsample_gauge =
+      obs::MetricsRegistry::Global().GetGauge("kendall.subsample_rows");
+  obs::Span estimate_span("kendall.estimate");
+
   const std::size_t m = table.num_columns();
   const auto n = static_cast<std::int64_t>(table.num_rows());
   if (m < 2) {
@@ -42,6 +55,13 @@ Result<KendallEstimate> EstimateKendallCorrelation(
     n_used = std::min(n, AdequateKendallSampleSize(m, epsilon2));
   }
   n_used = std::max<std::int64_t>(n_used, 2);
+  subsample_gauge->Set(static_cast<double>(n_used));
+  if (n_used < n) subsampled_runs->Increment();
+  obs::Log(obs::LogLevel::kDebug, "kendall.estimate")
+      .Field("columns", m)
+      .Field("rows", n)
+      .Field("rows_used", n_used)
+      .Field("epsilon2", epsilon2);
 
   // Columns restricted to the subsample (a single shared subsample keeps
   // the pairwise estimates mutually consistent).
@@ -111,6 +131,7 @@ Result<KendallEstimate> EstimateKendallCorrelation(
   if (failed.load()) {
     return Status::Internal("pairwise Kendall computation failed");
   }
+  pairs_counter->Add(static_cast<std::int64_t>(pairs.size()));
 
   linalg::Matrix p(m, m);
   for (std::size_t j = 0; j < m; ++j) p(j, j) = 1.0;
@@ -124,7 +145,12 @@ Result<KendallEstimate> EstimateKendallCorrelation(
   est.per_pair_epsilon = epsilon2 / num_pairs;
   est.laplace_scale = scale;
   est.repaired = !linalg::IsPositiveDefinite(p);
-  DPC_ASSIGN_OR_RETURN(est.correlation, linalg::EnsureCorrelationMatrix(p));
+  {
+    obs::Span repair_span("psd_repair");
+    if (est.repaired) repairs_counter->Increment();
+    DPC_ASSIGN_OR_RETURN(est.correlation,
+                         linalg::EnsureCorrelationMatrix(p));
+  }
   return est;
 }
 

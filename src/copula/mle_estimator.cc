@@ -8,6 +8,9 @@
 #include "copula/pseudo_obs.h"
 #include "linalg/cholesky.h"
 #include "linalg/psd_repair.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distributions.h"
 
 namespace dpcopula::copula {
@@ -21,6 +24,17 @@ std::int64_t PaperMlePartitionCount(std::size_t m, double epsilon2) {
 Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
                                            double epsilon2, Rng* rng,
                                            const MleEstimatorOptions& options) {
+  static obs::Counter* const partitions_counter =
+      obs::MetricsRegistry::Global().GetCounter("mle.partitions_fit");
+  static obs::Counter* const repairs_counter =
+      obs::MetricsRegistry::Global().GetCounter("mle.psd_repairs");
+  static obs::Gauge* const rows_per_partition_gauge =
+      obs::MetricsRegistry::Global().GetGauge("mle.rows_per_partition");
+  static obs::Histogram* const fit_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "mle.partition_fit_seconds");
+  obs::Span estimate_span("mle.estimate");
+
   const std::size_t m = table.num_columns();
   const auto n = static_cast<std::int64_t>(table.num_rows());
   if (m < 2) {
@@ -47,10 +61,19 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
         std::to_string(n) + ", l=" + std::to_string(l) + ")");
   }
 
+  partitions_counter->Add(l);
+  rows_per_partition_gauge->Set(static_cast<double>(b));
+  obs::Log(obs::LogLevel::kDebug, "mle.estimate")
+      .Field("columns", m)
+      .Field("partitions", l)
+      .Field("rows_per_partition", b)
+      .Field("epsilon2", epsilon2);
+
   // Fit the l disjoint partitions concurrently (the fits are RNG-free and
   // touch disjoint row slices), then average sequentially in partition
   // order so the floating-point sum — and thus the released matrix — is
   // identical for every thread count.
+  const obs::SpanId estimate_span_id = estimate_span.id();
   std::vector<Result<linalg::Matrix>> fits(
       static_cast<std::size_t>(l),
       Result<linalg::Matrix>(Status::Internal("partition not fitted")));
@@ -58,6 +81,10 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
       0, static_cast<std::size_t>(l), /*grain=*/1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t ti = begin; ti < end; ++ti) {
+          obs::Span fit_span(
+              "mle.partition_fit[" + std::to_string(ti) + "]",
+              estimate_span_id);
+          obs::ScopedTimer fit_timer(fit_seconds);
           const auto t = static_cast<std::int64_t>(ti);
           // Slice rows [t*b, (t+1)*b) of each column.
           data::Table part = data::Table::Zeros(
@@ -112,7 +139,12 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   est.rows_per_partition = b;
   est.laplace_scale = scale;
   est.repaired = !linalg::IsPositiveDefinite(p);
-  DPC_ASSIGN_OR_RETURN(est.correlation, linalg::EnsureCorrelationMatrix(p));
+  {
+    obs::Span repair_span("psd_repair");
+    if (est.repaired) repairs_counter->Increment();
+    DPC_ASSIGN_OR_RETURN(est.correlation,
+                         linalg::EnsureCorrelationMatrix(p));
+  }
   return est;
 }
 

@@ -4,12 +4,34 @@
 
 #include "common/parallel.h"
 #include "linalg/cholesky.h"
+#include "obs/metrics.h"
 #include "stats/distributions.h"
 #include "stats/normal.h"
 
 namespace dpcopula::copula {
 
 namespace {
+
+// Rows emitted across both samplers: with sampler.shard_seconds this gives
+// the rows/sec of Algorithm 3 (the report divides counter by histogram
+// sum). Updated once per shard, never per row.
+obs::Counter* RowsEmittedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("sampler.rows_emitted");
+  return counter;
+}
+
+obs::Counter* TRowsEmittedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("sampler.t_rows_emitted");
+  return counter;
+}
+
+obs::Histogram* ShardSecondsHistogram() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Global().GetHistogram("sampler.shard_seconds");
+  return histogram;
+}
 
 Status ValidateSamplerInputs(
     const data::Schema& schema,
@@ -52,6 +74,9 @@ Result<data::Table> SampleSyntheticData(
   ParallelForSharded(
       0, num_rows, kSamplerShardRows, rng,
       [&](std::size_t row_begin, std::size_t row_end, Rng* shard_rng) {
+        obs::ScopedTimer shard_timer(ShardSecondsHistogram());
+        RowsEmittedCounter()->Add(
+            static_cast<std::int64_t>(row_end - row_begin));
         std::vector<double> z(m), corr_z(m);
         for (std::size_t r = row_begin; r < row_end; ++r) {
           for (std::size_t j = 0; j < m; ++j) {
@@ -90,6 +115,11 @@ Result<data::Table> SampleSyntheticDataT(
   ParallelForSharded(
       0, num_rows, kSamplerShardRows, rng,
       [&](std::size_t row_begin, std::size_t row_end, Rng* shard_rng) {
+        obs::ScopedTimer shard_timer(ShardSecondsHistogram());
+        RowsEmittedCounter()->Add(
+            static_cast<std::int64_t>(row_end - row_begin));
+        TRowsEmittedCounter()->Add(
+            static_cast<std::int64_t>(row_end - row_begin));
         std::vector<double> z(m);
         for (std::size_t r = row_begin; r < row_end; ++r) {
           for (std::size_t j = 0; j < m; ++j) {

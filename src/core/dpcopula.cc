@@ -8,9 +8,34 @@
 #include "copula/t_copula.h"
 #include "hist/histogram.h"
 #include "marginals/postprocess.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/empirical_cdf.h"
 
 namespace dpcopula::core {
+
+namespace {
+
+/// The release is only valid if the charge log accounts for exactly the
+/// advertised budget: an overspend is a privacy violation, an underspend
+/// means some mechanism ran without charging (or the split logic drifted).
+/// Either way the data must not leave this function.
+Status VerifyBudgetConsumed(const dp::BudgetAccountant& budget,
+                            double epsilon) {
+  constexpr double kSlack = 1e-9;
+  const double spent = budget.spent();
+  if (std::abs(spent - epsilon) <= kSlack) return Status::OK();
+  obs::Log(obs::LogLevel::kError, "synthesize.budget_mismatch")
+      .Field("spent", spent)
+      .Field("epsilon", epsilon);
+  return Status::PrivacyBudgetExceeded(
+      "budget audit failed: charged " + std::to_string(spent) +
+      " but options.epsilon = " + std::to_string(epsilon) +
+      " (|diff| > 1e-9); refusing to release data");
+}
+
+}  // namespace
 
 Result<BudgetSplit> ComputeBudgetSplit(const DpCopulaOptions& options) {
   if (!(options.epsilon > 0.0) || !std::isfinite(options.epsilon)) {
@@ -29,6 +54,14 @@ Result<BudgetSplit> ComputeBudgetSplit(const DpCopulaOptions& options) {
 
 Result<SynthesisResult> Synthesize(const data::Table& table,
                                    const DpCopulaOptions& options, Rng* rng) {
+  static obs::Counter* const runs_counter =
+      obs::MetricsRegistry::Global().GetCounter("core.synthesize_runs");
+  static obs::Histogram* const run_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("core.synthesize_seconds");
+  obs::Span run_span("synthesize");
+  obs::ScopedTimer run_timer(run_seconds);
+  runs_counter->Increment();
+
   const std::size_t m = table.num_columns();
   if (m == 0) return Status::InvalidArgument("table has no columns");
   DPC_RETURN_NOT_OK(table.Validate());
@@ -43,6 +76,13 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
       std::llround(static_cast<double>(base_rows) *
                    options.oversample_factor));
 
+  obs::Log(obs::LogLevel::kInfo, "synthesize.start")
+      .Field("rows", table.num_rows())
+      .Field("columns", m)
+      .Field("out_rows", out_rows)
+      .Field("epsilon", options.epsilon)
+      .Field("threads", options.num_threads);
+
   SynthesisResult result;
   result.budget = dp::BudgetAccountant(options.epsilon, "dpcopula");
 
@@ -54,34 +94,46 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
   // margins-only path with an identity copula.
   const bool estimate_correlation = (m >= 2) && (table.num_rows() >= 2);
   if (estimate_correlation) {
+    obs::Span split_span("budget_split");
     DPC_ASSIGN_OR_RETURN(BudgetSplit split, ComputeBudgetSplit(options));
     epsilon1 = split.epsilon1;
     epsilon2 = split.epsilon2;
+    obs::Log(obs::LogLevel::kDebug, "synthesize.budget_split")
+        .Field("epsilon1", epsilon1)
+        .Field("epsilon2", epsilon2)
+        .Field("k", options.budget_ratio_k);
   }
 
   // Step 1: DP marginal histograms, epsilon1 / m each (Theorem 3.1 over the
-  // m sequential releases on the same records).
+  // m sequential releases on the same records). The count-query sensitivity
+  // every publisher calibrates to is 1 (add/remove one record changes one
+  // bin by 1).
   const double eps_per_margin = epsilon1 / static_cast<double>(m);
   std::vector<stats::EmpiricalCdf> cdfs;
   cdfs.reserve(m);
   result.noisy_marginals.reserve(m);
-  for (std::size_t j = 0; j < m; ++j) {
-    DPC_RETURN_NOT_OK(result.budget.Charge(
-        eps_per_margin, "margin:" + table.schema().attribute(j).name));
-    DPC_ASSIGN_OR_RETURN(hist::Histogram h, hist::Histogram::FromColumn(table, j));
-    DPC_ASSIGN_OR_RETURN(
-        std::vector<double> noisy,
-        marginals::PublishMarginal(options.marginal_method, h.data(),
-                                   eps_per_margin, rng));
-    // Consistency post-processing (no privacy cost): project onto the
-    // simplex matching the noisy total, rather than clamping negatives —
-    // clamping alone would inject phantom mass proportional to the domain
-    // size, which dominates at small epsilon.
-    noisy = marginals::ProjectToNoisyTotal(noisy);
-    DPC_ASSIGN_OR_RETURN(stats::EmpiricalCdf cdf,
-                         stats::EmpiricalCdf::FromCounts(noisy));
-    cdfs.push_back(std::move(cdf));
-    result.noisy_marginals.push_back(std::move(noisy));
+  {
+    obs::Span margins_span("margins");
+    for (std::size_t j = 0; j < m; ++j) {
+      DPC_RETURN_NOT_OK(result.budget.Charge(
+          eps_per_margin, "margin:" + table.schema().attribute(j).name,
+          /*sensitivity=*/1.0));
+      DPC_ASSIGN_OR_RETURN(hist::Histogram h,
+                           hist::Histogram::FromColumn(table, j));
+      DPC_ASSIGN_OR_RETURN(
+          std::vector<double> noisy,
+          marginals::PublishMarginal(options.marginal_method, h.data(),
+                                     eps_per_margin, rng));
+      // Consistency post-processing (no privacy cost): project onto the
+      // simplex matching the noisy total, rather than clamping negatives —
+      // clamping alone would inject phantom mass proportional to the domain
+      // size, which dominates at small epsilon.
+      noisy = marginals::ProjectToNoisyTotal(noisy);
+      DPC_ASSIGN_OR_RETURN(stats::EmpiricalCdf cdf,
+                           stats::EmpiricalCdf::FromCounts(noisy));
+      cdfs.push_back(std::move(cdf));
+      result.noisy_marginals.push_back(std::move(noisy));
+    }
   }
 
   // Optional family-selection budget (future-work extension): carve a share
@@ -107,9 +159,12 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
 
   // kEmpirical replaces the parametric correlation estimation entirely:
   // epsilon2 buys a DP checkerboard copula over the pseudo-observations,
-  // from which uniforms are sampled directly.
+  // from which uniforms are sampled directly (cell-histogram sensitivity
+  // 1).
   if (options.family == CopulaFamily::kEmpirical && estimate_correlation) {
-    DPC_RETURN_NOT_OK(result.budget.Charge(epsilon2, "copula:empirical"));
+    DPC_RETURN_NOT_OK(result.budget.Charge(epsilon2, "copula:empirical",
+                                           /*sensitivity=*/1.0));
+    obs::Span empirical_span("correlation");
     DPC_ASSIGN_OR_RETURN(auto pseudo, copula::PseudoObservations(table));
     DPC_ASSIGN_OR_RETURN(
         copula::EmpiricalCopula ecop,
@@ -118,18 +173,23 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
     result.correlation = linalg::Matrix::Identity(m);
     result.family_used = CopulaFamily::kEmpirical;
     data::Table out = data::Table::Zeros(table.schema(), out_rows);
-    for (std::size_t r = 0; r < out_rows; ++r) {
-      const auto u = ecop.SampleUniforms(rng);
-      for (std::size_t j = 0; j < m; ++j) {
-        out.set(r, j, static_cast<double>(cdfs[j].InverseCdf(u[j])));
+    {
+      obs::Span sampling_span("sampling");
+      for (std::size_t r = 0; r < out_rows; ++r) {
+        const auto u = ecop.SampleUniforms(rng);
+        for (std::size_t j = 0; j < m; ++j) {
+          out.set(r, j, static_cast<double>(cdfs[j].InverseCdf(u[j])));
+        }
       }
     }
     result.synthetic = std::move(out);
+    DPC_RETURN_NOT_OK(VerifyBudgetConsumed(result.budget, options.epsilon));
     return result;
   }
 
   // Step 2: DP correlation matrix with epsilon2.
   if (estimate_correlation) {
+    obs::Span correlation_span("correlation");
     switch (options.estimator) {
       case CorrelationEstimator::kKendall: {
         DPC_RETURN_NOT_OK(
@@ -140,6 +200,10 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
             copula::KendallEstimate est,
             copula::EstimateKendallCorrelation(table, epsilon2, rng,
                                                kendall_opts));
+        // Lemma 4.1: each tau's noise is calibrated to 4/(n_used + 1),
+        // only known once the estimator picked its subsample.
+        result.budget.AnnotateLastChargeSensitivity(
+            4.0 / (static_cast<double>(est.rows_used) + 1.0));
         result.correlation = std::move(est.correlation);
         result.kendall_rows_used = est.rows_used;
         result.correlation_repaired = est.repaired;
@@ -152,6 +216,10 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
         DPC_ASSIGN_OR_RETURN(
             copula::MleEstimate est,
             copula::EstimateMleCorrelation(table, epsilon2, rng, mle_opts));
+        // Algorithm 2: averaging l disjoint partitions leaves each
+        // coefficient with sensitivity Lambda / l = 2 / l.
+        result.budget.AnnotateLastChargeSensitivity(
+            2.0 / static_cast<double>(est.num_partitions));
         result.correlation = std::move(est.correlation);
         result.mle_partitions = est.num_partitions;
         result.correlation_repaired = est.repaired;
@@ -164,16 +232,18 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
 
   // Resolve the copula family (extension beyond the paper's Gaussian
   // default; falls back to Gaussian when the data cannot support a private
-  // vote).
+  // vote). The vote mechanisms score partition counts, sensitivity 1.
   result.family_used = CopulaFamily::kGaussian;
   if (estimate_correlation && options.family != CopulaFamily::kGaussian) {
+    obs::Span family_span("family_selection");
     if (options.family == CopulaFamily::kStudentT && options.t_dof > 0.0) {
       result.family_used = CopulaFamily::kStudentT;
       result.t_dof_used = options.t_dof;
     } else if (family_vote_possible) {
       DPC_ASSIGN_OR_RETURN(auto pseudo, copula::PseudoObservations(table));
       if (options.family == CopulaFamily::kStudentT) {
-        DPC_RETURN_NOT_OK(result.budget.Charge(eps_family, "family:t-dof"));
+        DPC_RETURN_NOT_OK(result.budget.Charge(eps_family, "family:t-dof",
+                                               /*sensitivity=*/1.0));
         DPC_ASSIGN_OR_RETURN(
             result.t_dof_used,
             copula::EstimateTCopulaDofPrivate(pseudo, result.correlation,
@@ -182,14 +252,16 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
         result.family_used = CopulaFamily::kStudentT;
       } else {  // kAutoAic.
         DPC_RETURN_NOT_OK(
-            result.budget.Charge(eps_family / 2.0, "family:aic-vote"));
+            result.budget.Charge(eps_family / 2.0, "family:aic-vote",
+                                 /*sensitivity=*/1.0));
         DPC_ASSIGN_OR_RETURN(
             bool t_wins,
             copula::TCopulaFitsBetterPrivate(pseudo, result.correlation,
                                              eps_family / 2.0, rng,
                                              kFamilyVotePartitions));
         DPC_RETURN_NOT_OK(
-            result.budget.Charge(eps_family / 2.0, "family:t-dof"));
+            result.budget.Charge(eps_family / 2.0, "family:t-dof",
+                                 /*sensitivity=*/1.0));
         if (t_wins) {
           DPC_ASSIGN_OR_RETURN(
               result.t_dof_used,
@@ -203,18 +275,27 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
   }
 
   // Step 3: sample synthetic data (Algorithm 3) — pure post-processing.
-  if (result.family_used == CopulaFamily::kStudentT) {
-    DPC_ASSIGN_OR_RETURN(
-        result.synthetic,
-        copula::SampleSyntheticDataT(table.schema(), cdfs, result.correlation,
-                                     result.t_dof_used, out_rows, rng,
-                                     options.num_threads));
-  } else {
-    DPC_ASSIGN_OR_RETURN(
-        result.synthetic,
-        copula::SampleSyntheticData(table.schema(), cdfs, result.correlation,
-                                    out_rows, rng, options.num_threads));
+  {
+    obs::Span sampling_span("sampling");
+    if (result.family_used == CopulaFamily::kStudentT) {
+      DPC_ASSIGN_OR_RETURN(
+          result.synthetic,
+          copula::SampleSyntheticDataT(table.schema(), cdfs,
+                                       result.correlation, result.t_dof_used,
+                                       out_rows, rng, options.num_threads));
+    } else {
+      DPC_ASSIGN_OR_RETURN(
+          result.synthetic,
+          copula::SampleSyntheticData(table.schema(), cdfs,
+                                      result.correlation, out_rows, rng,
+                                      options.num_threads));
+    }
   }
+  DPC_RETURN_NOT_OK(VerifyBudgetConsumed(result.budget, options.epsilon));
+  obs::Log(obs::LogLevel::kInfo, "synthesize.done")
+      .Field("out_rows", result.synthetic.num_rows())
+      .Field("budget_spent", result.budget.spent())
+      .Field("repaired", result.correlation_repaired);
   return result;
 }
 

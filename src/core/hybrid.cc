@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distributions.h"
 
 namespace dpcopula::core {
@@ -25,6 +28,18 @@ bool AdvanceCombo(std::vector<std::int64_t>* combo,
 
 Result<HybridResult> SynthesizeHybrid(const data::Table& table,
                                       const HybridOptions& options, Rng* rng) {
+  static obs::Counter* const partitions_synthesized =
+      obs::MetricsRegistry::Global().GetCounter(
+          "hybrid.partitions_synthesized");
+  static obs::Counter* const partitions_skipped =
+      obs::MetricsRegistry::Global().GetCounter("hybrid.partitions_skipped");
+  static obs::Gauge* const noisy_count_gauge =
+      obs::MetricsRegistry::Global().GetGauge("hybrid.last_noisy_count");
+  static obs::Histogram* const partition_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hybrid.partition_seconds");
+  obs::Span run_span("hybrid.synthesize");
+
   if (!(options.epsilon > 0.0)) {
     return Status::InvalidArgument("hybrid: epsilon must be > 0");
   }
@@ -46,6 +61,8 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
 
   // No small-domain attributes: plain DPCopula with the full budget.
   if (small_cols.empty()) {
+    obs::Log(obs::LogLevel::kInfo, "hybrid.degenerate_plain_dpcopula")
+        .Field("epsilon", options.epsilon);
     DpCopulaOptions inner = options.inner;
     inner.epsilon = options.epsilon;
     inner.num_synthetic_rows = 0;
@@ -54,6 +71,7 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
     out.synthetic = std::move(res.synthetic);
     out.num_partitions = 1;
     out.epsilon_copula = options.epsilon;
+    out.budget = std::move(res.budget);
     return out;
   }
 
@@ -78,6 +96,23 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
   out.epsilon_copula = eps_copula;
   out.synthetic = data::Table(schema);
 
+  // Top-level audit under parallel composition (Theorem 3.2): the
+  // partitions are disjoint, so the noisy counts cost eps_counts once
+  // overall (Laplace on a count, sensitivity 1) and the per-partition
+  // DPCopula runs cost eps_copula once overall (each run keeps its own
+  // sequential log internally and verifies it against eps_copula).
+  out.budget = dp::BudgetAccountant(options.epsilon, "dpcopula-hybrid");
+  DPC_RETURN_NOT_OK(out.budget.ChargeParallel(
+      eps_counts, "hybrid:partition-counts", /*sensitivity=*/1.0));
+  DPC_RETURN_NOT_OK(
+      out.budget.ChargeParallel(eps_copula, "hybrid:partition-copula"));
+
+  obs::Log(obs::LogLevel::kInfo, "hybrid.start")
+      .Field("partitions", num_partitions)
+      .Field("epsilon_counts", eps_counts)
+      .Field("epsilon_copula", eps_copula)
+      .Field("threads", options.num_threads);
+
   // Enumerate every small-attribute combination up front, then pre-split
   // one RNG per partition (in combo order). Each partition's noise draws
   // and inner DPCopula run consume only its own stream, so the release is
@@ -101,10 +136,16 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
   };
   std::vector<PartitionOutput> parts(combos.size());
 
+  // Workers run on pool threads, so they attach their spans to the run
+  // span through an explicit handle rather than the thread-local stack.
+  const obs::SpanId run_span_id = run_span.id();
   ParallelFor(
       0, combos.size(), /*grain=*/1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t p = begin; p < end; ++p) {
+          obs::Span part_span("hybrid.partition[" + std::to_string(p) + "]",
+                              run_span_id);
+          obs::ScopedTimer part_timer(partition_seconds);
           const std::vector<std::int64_t>& c = combos[p];
           Rng* part_rng = &part_rngs[p];
           PartitionOutput& po = parts[p];
@@ -123,10 +164,13 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
               stats::SampleLaplace(part_rng, 1.0 / eps_counts);
           const auto n_synth =
               static_cast<std::int64_t>(std::llround(noisy));
+          noisy_count_gauge->Set(noisy);
           if (n_synth <= 0) {
             po.skipped = true;
+            partitions_skipped->Increment();
             continue;
           }
+          partitions_synthesized->Increment();
 
           data::Table part_synth;
           if (large_cols.empty()) {
@@ -182,6 +226,10 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
     }
     DPC_RETURN_NOT_OK(out.synthetic.Concat(po.synth));
   }
+  obs::Log(obs::LogLevel::kInfo, "hybrid.done")
+      .Field("partitions", out.num_partitions)
+      .Field("skipped", out.num_skipped_partitions)
+      .Field("rows", out.synthetic.num_rows());
   return out;
 }
 

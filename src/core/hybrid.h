@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/dpcopula.h"
 #include "data/table.h"
+#include "dp/budget.h"
 
 namespace dpcopula::core {
 
@@ -53,6 +54,11 @@ struct HybridResult {
   std::int64_t num_skipped_partitions = 0;  // Noisy count <= 0.
   double epsilon_counts = 0.0;
   double epsilon_copula = 0.0;
+  /// Top-level charge log (total == options.epsilon). Partitions are
+  /// disjoint, so both the noisy counts and the per-partition copula runs
+  /// appear as single parallel-composition charges; when the run degrades
+  /// to plain DPCopula this is that run's full sequential log instead.
+  dp::BudgetAccountant budget{0.0};
 };
 
 /// Runs Algorithm 6. If the table has no small-domain attributes this

@@ -13,7 +13,8 @@ constexpr double kSlack = 1e-9;
 BudgetAccountant::BudgetAccountant(double epsilon, std::string label)
     : total_(epsilon), label_(std::move(label)) {}
 
-Status BudgetAccountant::Charge(double epsilon, const std::string& what) {
+Status BudgetAccountant::Charge(double epsilon, const std::string& what,
+                                double sensitivity) {
   if (epsilon < 0.0 || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("budget charge must be finite and >= 0");
   }
@@ -23,12 +24,13 @@ Status BudgetAccountant::Charge(double epsilon, const std::string& what) {
         "' exceeds remaining " + std::to_string(remaining()));
   }
   spent_ += epsilon;
-  entries_.push_back({epsilon, /*parallel=*/false, what});
+  entries_.push_back({epsilon, /*parallel=*/false, what, sensitivity});
   return Status::OK();
 }
 
 Status BudgetAccountant::ChargeParallel(double epsilon,
-                                        const std::string& what) {
+                                        const std::string& what,
+                                        double sensitivity) {
   if (epsilon < 0.0 || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("budget charge must be finite and >= 0");
   }
@@ -38,8 +40,13 @@ Status BudgetAccountant::ChargeParallel(double epsilon,
         what + "' exceeds remaining " + std::to_string(remaining()));
   }
   spent_ += epsilon;
-  entries_.push_back({epsilon, /*parallel=*/true, what});
+  entries_.push_back({epsilon, /*parallel=*/true, what, sensitivity});
   return Status::OK();
+}
+
+void BudgetAccountant::AnnotateLastChargeSensitivity(double sensitivity) {
+  if (entries_.empty()) return;
+  entries_.back().sensitivity = sensitivity;
 }
 
 }  // namespace dpcopula::dp

@@ -28,20 +28,36 @@ class BudgetAccountant {
   double remaining() const { return total_ - spent_; }
   const std::string& label() const { return label_; }
 
-  /// Charges `epsilon` under sequential composition.
-  Status Charge(double epsilon, const std::string& what);
+  /// Charges `epsilon` under sequential composition. `sensitivity` is the
+  /// L1 sensitivity the mechanism's noise is calibrated to; it is recorded
+  /// for the audit log only (0 = not recorded) and never affects the
+  /// accounting itself.
+  Status Charge(double epsilon, const std::string& what,
+                double sensitivity = 0.0);
 
   /// Records that `epsilon` was spent on each of several *disjoint* subsets
   /// of the data. Under parallel composition this costs only `epsilon`.
-  Status ChargeParallel(double epsilon, const std::string& what);
+  Status ChargeParallel(double epsilon, const std::string& what,
+                        double sensitivity = 0.0);
+
+  /// Back-fills the sensitivity of the most recent charge. For mechanisms
+  /// whose sensitivity is only known after they run (e.g. the Kendall
+  /// estimator's 4/(n_hat+1) depends on the subsample size it picks) while
+  /// the charge must still precede the noise draw. No-op on an empty log.
+  void AnnotateLastChargeSensitivity(double sensitivity);
 
   /// Log of every charge, for audits and tests.
   struct Entry {
     double epsilon;
     bool parallel;
-    std::string what;
+    std::string what;         // Mechanism name, e.g. "correlation:kendall".
+    double sensitivity = 0.0; // L1 sensitivity; 0 = not recorded.
   };
   const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Audit-facing alias for the charge log: one (mechanism, epsilon,
+  /// sensitivity) record per mechanism invocation, in charge order.
+  const std::vector<Entry>& Entries() const { return entries_; }
 
  private:
   double total_;

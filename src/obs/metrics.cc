@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dpcopula::obs {
+
+void Histogram::Observe(double seconds) {
+#if DPCOPULA_OBS_ENABLED
+  if (!MetricsEnabled()) return;
+  if (!(seconds >= 0.0) || !std::isfinite(seconds)) seconds = 0.0;
+  // Bucket i has upper bound 1us * 2^i; find the first that fits.
+  int bucket = 0;
+  double bound = 1e-6;
+  while (bucket < kBuckets - 1 && seconds > bound) {
+    bound *= 2.0;
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+#else
+  (void)seconds;
+#endif
+}
+
+std::vector<std::int64_t> Histogram::BucketCounts() const {
+  std::vector<std::int64_t> out(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1e-6 * std::pow(2.0, i);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumentation sites cache metric pointers in
+  // function-local statics and may fire during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricsRegistry::MetricSnapshot> MetricsRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.type = MetricType::kCounter;
+    s.counter_value = counter->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.type = MetricType::kGauge;
+    s.gauge_value = gauge->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.type = MetricType::kHistogram;
+    s.histogram_count = histogram->Count();
+    s.histogram_sum_seconds = histogram->Sum();
+    s.histogram_buckets = histogram->BucketCounts();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace dpcopula::obs

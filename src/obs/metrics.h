@@ -1,0 +1,192 @@
+#ifndef DPCOPULA_OBS_METRICS_H_
+#define DPCOPULA_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace dpcopula::obs {
+
+/// Naming convention (see DESIGN.md § Observability): `module.metric`, all
+/// lower-case snake_case, e.g. "sampler.rows_emitted",
+/// "kendall.pairs_computed", "parallel.pool_tasks". Counters count events or
+/// items, gauges hold last-written values, histograms hold latencies in
+/// seconds.
+///
+/// All three metric kinds are safe to update concurrently from ParallelFor
+/// workers: every mutable word is a std::atomic, and counters additionally
+/// shard across cache-line-padded slots indexed by a dense per-thread id so
+/// concurrent Add()s from different workers do not even contend. Reads
+/// (Value()/Snapshot()) are racy-but-consistent aggregations — exact once
+/// the workers have joined, which is the only time reports read them.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::int64_t delta) {
+#if DPCOPULA_OBS_ENABLED
+    if (!MetricsEnabled()) return;
+    slots_[internal::ThreadIndex() & (kSlots - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  void Increment() { Add(1); }
+
+  std::int64_t Value() const {
+    std::int64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void Reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kSlots = 16;  // Power of two for the mask above.
+  struct alignas(64) Slot {
+    std::atomic<std::int64_t> v{0};
+  };
+  Slot slots_[kSlots];
+};
+
+/// Last-writer-wins scalar (e.g. "kendall.subsample_rows"). Writes from
+/// concurrent workers are atomic; which one survives is unspecified, which
+/// is fine for the "most recent observation" semantics of a gauge.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) {
+#if DPCOPULA_OBS_ENABLED
+    if (!MetricsEnabled()) return;
+    v_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket latency histogram in seconds. Buckets are exponential:
+/// upper bounds 1us * 2^i for i = 0..kBuckets-2, plus a final +inf bucket —
+/// ~1us to ~67s, which covers everything from a single marginal publish to
+/// a full Census-scale synthesis. Fixed buckets mean Observe() is one
+/// index computation plus two relaxed atomic adds, with no allocation and
+/// no locks.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 27;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double seconds);
+
+  std::int64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Total observed time in seconds.
+  double Sum() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::vector<std::int64_t> BucketCounts() const;
+
+  /// Inclusive upper bound of bucket `i` in seconds; +inf for the last.
+  static double BucketUpperBound(int i);
+
+  void Reset();
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_nanos_{0};
+};
+
+/// RAII wall-clock timer feeding a Histogram. Reads the steady clock only
+/// when metrics are enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(MetricsEnabled() ? histogram : nullptr) {
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-wide registry. Metrics are created on first lookup and live for
+/// the process lifetime (stable pointers — call sites cache them in
+/// function-local statics). Lookup takes a mutex; updates through the
+/// returned pointers are lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  enum class MetricType { kCounter, kGauge, kHistogram };
+  struct MetricSnapshot {
+    std::string name;
+    MetricType type;
+    std::int64_t counter_value = 0;
+    double gauge_value = 0.0;
+    std::int64_t histogram_count = 0;
+    double histogram_sum_seconds = 0.0;
+    std::vector<std::int64_t> histogram_buckets;
+  };
+
+  /// All registered metrics, sorted by (type, name). Includes metrics whose
+  /// value is still zero.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Zeroes every metric (registrations survive). For tests and the
+  /// per-run reports of the CLI tools.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dpcopula::obs
+
+#endif  // DPCOPULA_OBS_METRICS_H_

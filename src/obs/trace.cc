@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace dpcopula::obs {
+
+namespace internal {
+namespace {
+thread_local SpanId t_current_span = kNoSpan;
+}  // namespace
+
+SpanId CurrentSpan() { return t_current_span; }
+
+SpanId ExchangeCurrentSpan(SpanId id) {
+  const SpanId prev = t_current_span;
+  t_current_span = id;
+  return prev;
+}
+}  // namespace internal
+
+namespace {
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+struct Tracer::Impl {
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::int64_t> dropped{0};
+  // Steady-clock nanos of the current epoch; atomic so Reset() can race
+  // with span creation without a TSan report (observability tolerates a
+  // torn epoch, the release never depends on it).
+  std::atomic<std::int64_t> epoch_nanos{SteadyNowNanos()};
+  mutable std::mutex mu;
+  std::vector<SpanRecord> records;
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::Global() {
+  // Leaked on purpose, like the thread pool: spans may finish during
+  // static destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->records.clear();
+  impl_->dropped.store(0, std::memory_order_relaxed);
+  impl_->next_id.store(1, std::memory_order_relaxed);
+  impl_->epoch_nanos.store(SteadyNowNanos(), std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->records;
+}
+
+std::int64_t Tracer::dropped() const {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+SpanId Tracer::NextId() {
+  return impl_->next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->records.size() >= kMaxSpans) {
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  impl_->records.push_back(std::move(record));
+}
+
+Span::Span(std::string name, SpanId explicit_parent) {
+#if DPCOPULA_OBS_ENABLED
+  if (!TraceEnabled()) return;
+  Tracer& tracer = Tracer::Global();
+  id_ = tracer.NextId();
+  name_ = std::move(name);
+  parent_ = explicit_parent == kUseThreadLocal ? internal::CurrentSpan()
+                                               : explicit_parent;
+  saved_current_ = internal::ExchangeCurrentSpan(id_);
+  restore_current_ = true;
+  start_ = std::chrono::steady_clock::now();
+  start_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  start_.time_since_epoch())
+                  .count() -
+              tracer.impl_->epoch_nanos.load(std::memory_order_relaxed);
+  wall_start_unix_ms_ =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+#else
+  (void)name;
+  (void)explicit_parent;
+#endif
+}
+
+Span::~Span() {
+#if DPCOPULA_OBS_ENABLED
+  if (id_ == kNoSpan) return;
+  if (restore_current_) internal::ExchangeCurrentSpan(saved_current_);
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = std::move(name_);
+  record.start_ns = start_ns_;
+  record.duration_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  record.wall_start_unix_ms = wall_start_unix_ms_;
+  record.thread_index = internal::ThreadIndex();
+  Tracer::Global().Record(std::move(record));
+#endif
+}
+
+}  // namespace dpcopula::obs

@@ -1,0 +1,110 @@
+#ifndef DPCOPULA_OBS_TRACE_H_
+#define DPCOPULA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace dpcopula::obs {
+
+/// Identifier of a recorded span; 0 means "no span".
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// One finished span. start_ns is relative to the tracer epoch (the last
+/// Reset(), steady clock); wall_start_unix_ms anchors that epoch to wall
+/// time for human consumption.
+struct SpanRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+  std::int64_t wall_start_unix_ms = 0;
+  int thread_index = 0;
+};
+
+/// Process-wide collector of finished spans. Span records are appended
+/// under a mutex when a Span destructs; the volume is phases and
+/// partitions, not rows, so the lock is nowhere near any hot loop. The
+/// buffer is capped (kMaxSpans) so a pathological run cannot grow without
+/// bound — overflow is counted and reported instead of recorded.
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxSpans = 1 << 16;
+
+  static Tracer& Global();
+
+  /// Drops all recorded spans and restarts the epoch.
+  void Reset();
+
+  /// Copies out every finished span (in finish order).
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans dropped because the buffer was full.
+  std::int64_t dropped() const;
+
+ private:
+  friend class Span;
+  Tracer();
+
+  SpanId NextId();
+  void Record(SpanRecord record);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+namespace internal {
+/// Innermost active span on this thread (kNoSpan outside any span).
+SpanId CurrentSpan();
+SpanId ExchangeCurrentSpan(SpanId id);
+}  // namespace internal
+
+/// RAII span. Nests automatically via a thread-local "current span": a Span
+/// constructed while another is active on the same thread becomes its
+/// child. Work fanned out to pool workers does not inherit the caller's
+/// thread-local, so cross-thread children pass the parent handle
+/// explicitly:
+///
+///   obs::Span phase("hybrid.partitions");
+///   const obs::SpanId parent = phase.id();
+///   ParallelFor(..., [&](std::size_t b, std::size_t e) {
+///     obs::Span part("hybrid.partition", parent);
+///     ...
+///   });
+///
+/// When tracing is disabled (runtime or compile-time) construction is a
+/// single branch; no clock is read and nothing is recorded.
+class Span {
+ public:
+  explicit Span(std::string name) : Span(std::move(name), kUseThreadLocal) {}
+  Span(std::string name, SpanId explicit_parent);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Handle for explicit cross-thread parenting; kNoSpan when inactive.
+  SpanId id() const { return id_; }
+
+ private:
+  // Sentinel distinguishing "use the thread-local current span" from a
+  // real (possibly kNoSpan) explicit parent.
+  static constexpr SpanId kUseThreadLocal = ~SpanId{0};
+
+  SpanId id_ = kNoSpan;
+  SpanId saved_current_ = kNoSpan;
+  bool restore_current_ = false;
+  std::string name_;
+  SpanId parent_ = kNoSpan;
+  std::chrono::steady_clock::time_point start_;
+  std::int64_t start_ns_ = 0;
+  std::int64_t wall_start_unix_ms_ = 0;
+};
+
+}  // namespace dpcopula::obs
+
+#endif  // DPCOPULA_OBS_TRACE_H_

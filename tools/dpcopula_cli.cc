@@ -21,6 +21,9 @@
 //   --seed N            RNG seed (default 42)
 //   --model-out PATH    also save the fitted DP model (non-hybrid only)
 //   --model-in PATH     skip fitting: load a saved model and sample from it
+//   --trace-json PATH   write a JSON run report (span tree, metrics, budget
+//                       audit) after the run; also enables tracing/metrics
+//   --log-level LEVEL   trace|debug|info|warn|error|off (default warn)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +34,8 @@
 #include "core/hybrid.h"
 #include "core/model_io.h"
 #include "data/csv.h"
+#include "obs/log.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -49,14 +54,31 @@ struct CliArgs {
   unsigned long long seed = 42;
   std::string model_out;
   std::string model_in;
+  std::string trace_json;
+  std::string log_level = "warn";
 };
+
+const char* FamilyName(dpcopula::core::CopulaFamily family) {
+  switch (family) {
+    case dpcopula::core::CopulaFamily::kGaussian:
+      return "gaussian";
+    case dpcopula::core::CopulaFamily::kStudentT:
+      return "t";
+    case dpcopula::core::CopulaFamily::kAutoAic:
+      return "auto";
+    case dpcopula::core::CopulaFamily::kEmpirical:
+      return "empirical";
+  }
+  return "unknown";
+}
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --input data.csv --output synth.csv "
                "[--epsilon X] [--k X] [--estimator kendall|mle] "
                "[--family gaussian|t|auto] [--t-dof X] [--no-hybrid] "
-               "[--rows N] [--oversample X] [--threads N] [--seed N]\n",
+               "[--rows N] [--oversample X] [--threads N] [--seed N] "
+               "[--trace-json PATH] [--log-level LEVEL]\n",
                argv0);
 }
 
@@ -120,6 +142,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->model_in = v;
+    } else if (flag == "--trace-json") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_json = v;
+    } else if (flag == "--log-level") {
+      const char* v = next();
+      if (!v) return false;
+      args->log_level = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -139,6 +169,31 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+
+  obs::ObsConfig obs_config;
+  if (!obs::ParseLogLevel(args.log_level, &obs_config.log_level)) {
+    std::fprintf(stderr, "unknown log level '%s'\n", args.log_level.c_str());
+    return 2;
+  }
+  // --trace-json needs both the span tree and the metrics section.
+  obs_config.trace = !args.trace_json.empty();
+  obs_config.metrics = !args.trace_json.empty();
+  obs::SetObsConfig(obs_config);
+
+  // Written after a successful run (nullptr when no accountant exists, e.g.
+  // sample-only mode).
+  auto write_report = [&](const obs::BudgetAudit* audit) -> bool {
+    if (args.trace_json.empty()) return true;
+    Status ts = obs::WriteRunReport(args.trace_json, audit);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "failed to write trace report %s: %s\n",
+                   args.trace_json.c_str(), ts.ToString().c_str());
+      return false;
+    }
+    std::fprintf(stderr, "trace report written to %s\n",
+                 args.trace_json.c_str());
+    return true;
+  };
 
   if (!args.model_in.empty()) {
     // Sample-only mode: load a published model and draw from it.
@@ -167,7 +222,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sampled %zu rows from %s into %s\n",
                  sample->num_rows(), args.model_in.c_str(),
                  args.output.c_str());
-    return 0;
+    // Sampling a published model is pure post-processing — no budget to
+    // audit, but the span tree / metrics are still worth the report.
+    return write_report(nullptr) ? 0 : 1;
   }
 
   auto table = data::ReadCsv(args.input);
@@ -205,6 +262,7 @@ int main(int argc, char** argv) {
 
   Rng rng(args.seed);
   data::Table synthetic{data::Schema()};
+  obs::BudgetAudit audit;
   if (args.hybrid) {
     core::HybridOptions hybrid;
     hybrid.epsilon = args.epsilon;
@@ -219,6 +277,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hybrid: %lld partitions (%lld skipped)\n",
                  static_cast<long long>(result->num_partitions),
                  static_cast<long long>(result->num_skipped_partitions));
+    std::fprintf(stderr, "budget spent: %.6f of %.6f\n",
+                 result->budget.spent(), result->budget.total_epsilon());
+    audit = obs::AuditFrom(result->budget);
     synthetic = std::move(result->synthetic);
   } else {
     auto result = core::Synthesize(*table, inner, &rng);
@@ -229,6 +290,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "budget spent: %.6f of %.6f\n",
                  result->budget.spent(), result->budget.total_epsilon());
+    std::fprintf(
+        stderr,
+        "estimator: kendall_rows_used=%lld mle_partitions=%lld "
+        "correlation_repaired=%s family_used=%s t_dof_used=%g\n",
+        static_cast<long long>(result->kendall_rows_used),
+        static_cast<long long>(result->mle_partitions),
+        result->correlation_repaired ? "yes" : "no",
+        FamilyName(result->family_used), result->t_dof_used);
+    audit = obs::AuditFrom(result->budget);
     if (!args.model_out.empty()) {
       const auto model = core::ModelFromSynthesis(table->schema(), *result);
       Status ms = core::SaveModel(model, args.model_out);
@@ -250,5 +320,5 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "wrote %zu synthetic rows to %s\n",
                synthetic.num_rows(), args.output.c_str());
-  return 0;
+  return write_report(&audit) ? 0 : 1;
 }

@@ -7,9 +7,12 @@
 //
 //   dpcopula_eval --original data.csv --synthetic synth.csv [--queries N]
 //                 [--sanity S] [--threads N] [--seed N]
+//                 [--trace-json PATH] [--log-level LEVEL]
 //
 // --threads parallelizes the O(n^2) DCR privacy audit (0 = all hardware
 // threads); the report is identical for every thread count.
+// --trace-json writes a JSON run report (phase spans + metrics; no budget
+// section — evaluation spends no privacy).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +20,9 @@
 #include "baselines/range_estimator.h"
 #include "common/rng.h"
 #include "data/csv.h"
+#include "obs/log.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "query/fidelity_metrics.h"
 #include "query/privacy_metrics.h"
@@ -31,6 +37,8 @@ struct CliArgs {
   double sanity = 1.0;
   int threads = 0;  // 0 = hardware concurrency.
   unsigned long long seed = 42;
+  std::string trace_json;
+  std::string log_level = "warn";
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -63,6 +71,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--trace-json") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_json = v;
+    } else if (flag == "--log-level") {
+      const char* v = next();
+      if (!v) return false;
+      args->log_level = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -79,10 +95,20 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: %s --original data.csv --synthetic synth.csv "
-                 "[--queries N] [--sanity S] [--threads N] [--seed N]\n",
+                 "[--queries N] [--sanity S] [--threads N] [--seed N] "
+                 "[--trace-json PATH] [--log-level LEVEL]\n",
                  argv[0]);
     return 2;
   }
+
+  obs::ObsConfig obs_config;
+  if (!obs::ParseLogLevel(args.log_level, &obs_config.log_level)) {
+    std::fprintf(stderr, "unknown log level '%s'\n", args.log_level.c_str());
+    return 2;
+  }
+  obs_config.trace = !args.trace_json.empty();
+  obs_config.metrics = !args.trace_json.empty();
+  obs::SetObsConfig(obs_config);
 
   auto original = data::ReadCsv(args.original);
   if (!original.ok()) {
@@ -107,66 +133,88 @@ int main(int argc, char** argv) {
   baselines::TableEstimator estimator(*synthetic, "synthetic");
 
   // Overall workload accuracy.
-  const auto workload =
-      query::RandomWorkload(original->schema(), args.queries, &rng);
-  auto eval =
-      query::EvaluateWorkload(*original, estimator, workload, args.sanity);
-  if (!eval.ok()) {
-    std::fprintf(stderr, "evaluation failed: %s\n",
-                 eval.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("random range-count workload (%zu queries, sanity %.2f):\n",
-              args.queries, args.sanity);
-  std::printf("  mean RE %.4f   median RE %.4f   mean ABS %.2f\n\n",
-              eval->mean_relative_error, eval->median_relative_error,
-              eval->mean_absolute_error);
+  {
+    obs::Span workload_span("eval.workload");
+    const auto workload =
+        query::RandomWorkload(original->schema(), args.queries, &rng);
+    auto eval =
+        query::EvaluateWorkload(*original, estimator, workload, args.sanity);
+    if (!eval.ok()) {
+      std::fprintf(stderr, "evaluation failed: %s\n",
+                   eval.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("random range-count workload (%zu queries, sanity %.2f):\n",
+                args.queries, args.sanity);
+    std::printf("  mean RE %.4f   median RE %.4f   mean ABS %.2f\n\n",
+                eval->mean_relative_error, eval->median_relative_error,
+                eval->mean_absolute_error);
 
-  // Per-attribute marginal accuracy.
-  std::printf("per-attribute marginal accuracy:\n");
-  for (std::size_t j = 0; j < original->num_columns(); ++j) {
-    auto marginal = query::MarginalWorkload(original->schema(), j,
-                                            args.queries / 2, &rng);
-    if (!marginal.ok()) continue;
-    auto me = query::EvaluateWorkload(*original, estimator, *marginal,
-                                      args.sanity);
-    if (!me.ok()) continue;
-    std::printf("  %-20s mean RE %.4f\n",
-                original->schema().attribute(j).name.c_str(),
-                me->mean_relative_error);
+    // Per-attribute marginal accuracy.
+    std::printf("per-attribute marginal accuracy:\n");
+    for (std::size_t j = 0; j < original->num_columns(); ++j) {
+      auto marginal = query::MarginalWorkload(original->schema(), j,
+                                              args.queries / 2, &rng);
+      if (!marginal.ok()) continue;
+      auto me = query::EvaluateWorkload(*original, estimator, *marginal,
+                                        args.sanity);
+      if (!me.ok()) continue;
+      std::printf("  %-20s mean RE %.4f\n",
+                  original->schema().attribute(j).name.c_str(),
+                  me->mean_relative_error);
+    }
   }
 
   // Statistical fidelity report.
-  auto fidelity = query::EvaluateFidelity(*original, *synthetic);
-  if (fidelity.ok()) {
-    std::printf("\nstatistical fidelity:\n");
-    for (std::size_t j = 0; j < fidelity->marginal_tv.size(); ++j) {
-      std::printf("  TV[%s] = %.4f\n",
-                  original->schema().attribute(j).name.c_str(),
-                  fidelity->marginal_tv[j]);
+  {
+    obs::Span fidelity_span("eval.fidelity");
+    auto fidelity = query::EvaluateFidelity(*original, *synthetic);
+    if (fidelity.ok()) {
+      std::printf("\nstatistical fidelity:\n");
+      for (std::size_t j = 0; j < fidelity->marginal_tv.size(); ++j) {
+        std::printf("  TV[%s] = %.4f\n",
+                    original->schema().attribute(j).name.c_str(),
+                    fidelity->marginal_tv[j]);
+      }
+      std::printf("  mean marginal TV = %.4f\n", fidelity->mean_marginal_tv);
+      std::printf("  max pairwise tau deviation = %.4f\n",
+                  fidelity->dependence_distance);
     }
-    std::printf("  mean marginal TV = %.4f\n", fidelity->mean_marginal_tv);
-    std::printf("  max pairwise tau deviation = %.4f\n",
-                fidelity->dependence_distance);
   }
 
   // Privacy audit.
-  auto dcr = query::DistanceToClosestRecord(*synthetic, *original,
-                                            /*max_rows=*/2000, args.threads);
-  if (dcr.ok()) {
-    std::printf(
-        "\nprivacy audit:\n  DCR mean %.4f  median %.4f  p05 %.4f  "
-        "exact-match rows %.2f%%\n",
-        dcr->mean, dcr->median, dcr->p05, 100.0 * dcr->frac_zero);
-  }
-  for (std::size_t j = 0; j < original->num_columns(); ++j) {
-    auto risk = query::AttributeDisclosureRisk(*synthetic, *original, j);
-    auto baseline = query::MajorityGuessAccuracy(*original, j);
-    if (risk.ok() && baseline.ok()) {
-      std::printf("  disclosure[%s]: %.3f (majority baseline %.3f)\n",
-                  original->schema().attribute(j).name.c_str(), *risk,
-                  *baseline);
+  {
+    obs::Span dcr_span("eval.dcr");
+    auto dcr = query::DistanceToClosestRecord(
+        *synthetic, *original, /*max_rows=*/2000, args.threads);
+    if (dcr.ok()) {
+      std::printf(
+          "\nprivacy audit:\n  DCR mean %.4f  median %.4f  p05 %.4f  "
+          "exact-match rows %.2f%%\n",
+          dcr->mean, dcr->median, dcr->p05, 100.0 * dcr->frac_zero);
     }
+    for (std::size_t j = 0; j < original->num_columns(); ++j) {
+      auto risk = query::AttributeDisclosureRisk(*synthetic, *original, j);
+      auto baseline = query::MajorityGuessAccuracy(*original, j);
+      if (risk.ok() && baseline.ok()) {
+        std::printf("  disclosure[%s]: %.3f (majority baseline %.3f)\n",
+                    original->schema().attribute(j).name.c_str(), *risk,
+                    *baseline);
+      }
+    }
+  }
+
+  if (!args.trace_json.empty()) {
+    // Evaluation spends no privacy budget; the report carries only the
+    // span tree and metrics.
+    Status ts = obs::WriteRunReport(args.trace_json, nullptr);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "failed to write trace report %s: %s\n",
+                   args.trace_json.c_str(), ts.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace report written to %s\n",
+                 args.trace_json.c_str());
   }
   return 0;
 }
