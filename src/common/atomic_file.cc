@@ -1,0 +1,79 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/failpoint.h"
+
+namespace dpcopula {
+
+namespace {
+
+/// fsync the object at `path` (file or directory). Best effort on
+/// directories: some filesystems refuse O_RDONLY directory fsync; a failed
+/// directory sync only weakens durability of the *name*, never atomicity.
+Status SyncPath(const std::string& path, bool required) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return required ? Status::IOError("cannot open for fsync: " + path)
+                    : Status::OK();
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && required) {
+    return Status::IOError("fsync failed: " + path);
+  }
+  return Status::OK();
+}
+
+std::string ParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + tmp);
+    Status st = writer(out);
+    if (!st.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return st;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  if (DPC_FAILPOINT("atomicio.write")) {
+    std::remove(tmp.c_str());
+    return failpoint::InjectedFault("atomicio.write");
+  }
+  DPC_RETURN_NOT_OK(SyncPath(tmp, /*required=*/true));
+  // A crash here is the worst case the tmp+rename protocol defends
+  // against: the data is durable under the tmp name, the target still
+  // holds its previous (complete) content. The fail point leaves the tmp
+  // file in place so tests can verify exactly that state.
+  if (DPC_FAILPOINT("atomicio.rename")) {
+    return failpoint::InjectedFault("atomicio.rename");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  return SyncPath(ParentDir(path), /*required=*/false);
+}
+
+}  // namespace dpcopula

@@ -1,0 +1,28 @@
+#ifndef DPCOPULA_COMMON_ATOMIC_FILE_H_
+#define DPCOPULA_COMMON_ATOMIC_FILE_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpcopula {
+
+/// Crash-safe whole-file write: `writer` streams the content into
+/// `<path>.tmp`, which is flushed, fsync'ed, and atomically renamed onto
+/// `path`. A crash (or injected fault) at any step leaves either the old
+/// file intact or no file at all — never a truncated artifact. The parent
+/// directory is fsync'ed after the rename so the new name itself is
+/// durable.
+///
+/// Fail points: "atomicio.write" fires after `writer` runs (the tmp file is
+/// removed, as a real write error would leave it useless anyway);
+/// "atomicio.rename" fires between fsync and rename, simulating a crash at
+/// the most revealing instant — tmp written and durable, target untouched.
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::ostream&)>& writer);
+
+}  // namespace dpcopula
+
+#endif  // DPCOPULA_COMMON_ATOMIC_FILE_H_

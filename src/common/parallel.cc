@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace dpcopula {
@@ -23,6 +24,7 @@ struct PoolMetrics {
   obs::Counter* pool_tasks;       // Tasks executed across all Run() calls.
   obs::Counter* shards;           // Shards created by ParallelFor*().
   obs::Counter* rng_splits;       // Shard RNG streams pre-derived.
+  obs::Counter* dispatch_fallbacks;  // Pool dispatch failed -> ran inline.
   obs::Gauge* queue_depth;        // Queue length right after an enqueue.
 };
 
@@ -34,6 +36,8 @@ PoolMetrics& Metrics() {
       obs::MetricsRegistry::Global().GetCounter("parallel.pool_tasks"),
       obs::MetricsRegistry::Global().GetCounter("parallel.shards"),
       obs::MetricsRegistry::Global().GetCounter("parallel.rng_splits"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "parallel.dispatch_fallbacks"),
       obs::MetricsRegistry::Global().GetGauge("parallel.queue_depth"),
   };
   return m;
@@ -215,6 +219,15 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
   if (obs::MetricsEnabled()) {
     Metrics().shards->Add(static_cast<std::int64_t>(shards.size()));
   }
+  // Graceful degradation: if pool dispatch fails (injected here; a real
+  // analogue is thread exhaustion), drain the shards sequentially on the
+  // caller. Shard bounds are already fixed, so the output is identical —
+  // only wall-clock suffers.
+  if (DPC_FAILPOINT("parallel.dispatch")) {
+    Metrics().dispatch_fallbacks->Increment();
+    for (const Shard& s : shards) fn(s.begin, s.end);
+    return;
+  }
   ThreadPool::Global().Run(
       shards.size(), threads,
       [&](std::size_t i) { fn(shards[i].begin, shards[i].end); });
@@ -244,6 +257,15 @@ void ParallelForSharded(
       Metrics().inline_runs->Increment();
       if (ThreadPool::InWorker()) Metrics().nested_inline->Increment();
     }
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      fn(shards[i].begin, shards[i].end, &shard_rngs[i]);
+    }
+    return;
+  }
+  // Same fallback as ParallelFor: shard RNGs were pre-split above, so the
+  // sequential drain produces bit-identical output.
+  if (DPC_FAILPOINT("parallel.dispatch")) {
+    Metrics().dispatch_fallbacks->Increment();
     for (std::size_t i = 0; i < shards.size(); ++i) {
       fn(shards[i].begin, shards[i].end, &shard_rngs[i]);
     }

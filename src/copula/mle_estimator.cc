@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "copula/gaussian_copula.h"
 #include "copula/pseudo_obs.h"
@@ -85,6 +86,10 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
               "mle.partition_fit[" + std::to_string(ti) + "]",
               estimate_span_id);
           obs::ScopedTimer fit_timer(fit_seconds);
+          if (DPC_FAILPOINT_AT("mle.partition_fit", ti)) {
+            fits[ti] = failpoint::InjectedFault("mle.partition_fit");
+            continue;
+          }
           const auto t = static_cast<std::int64_t>(ti);
           // Slice rows [t*b, (t+1)*b) of each column.
           data::Table part = data::Table::Zeros(
@@ -108,20 +113,46 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
       },
       options.num_threads);
 
+  // Degradation policy: average the surviving fits (in partition order, for
+  // thread-count determinism). A record lives in exactly one partition, so
+  // with l_s survivors each averaged coefficient has sensitivity
+  // Lambda / l_s — strictly larger than Lambda / l, and the Laplace scale
+  // below grows to match, keeping the release epsilon2-DP. The budget
+  // notionally spent on failed partitions is charged, never refunded.
+  static obs::Counter* const fit_failures_counter =
+      obs::MetricsRegistry::Global().GetCounter("mle.partition_fit_failures");
   linalg::Matrix avg(m, m);
+  std::int64_t survivors = 0;
+  std::int64_t failed = 0;
+  Status first_failure = Status::OK();
   for (std::size_t ti = 0; ti < fits.size(); ++ti) {
-    DPC_ASSIGN_OR_RETURN(linalg::Matrix corr, std::move(fits[ti]));
-    avg = avg + corr;
+    if (!fits[ti].ok()) {
+      ++failed;
+      if (first_failure.ok()) first_failure = fits[ti].status();
+      continue;
+    }
+    avg = avg + *fits[ti];
+    ++survivors;
   }
-  avg = avg.Scaled(1.0 / static_cast<double>(l));
+  if (failed > 0) {
+    fit_failures_counter->Add(failed);
+    obs::Log(obs::LogLevel::kWarn, "mle.partition_fits_failed")
+        .Field("failed", failed)
+        .Field("partitions", l)
+        .Field("max_failed", options.max_failed_partitions);
+  }
+  if (survivors == 0 || failed > options.max_failed_partitions) {
+    return first_failure;  // Fail closed: nothing released.
+  }
+  avg = avg.Scaled(1.0 / static_cast<double>(survivors));
 
-  // Algorithm 2 step 3: Laplace noise with scale C(m,2) * Lambda / (l *
-  // epsilon2), Lambda = 2 (diameter of [-1, 1]). Averaging over l disjoint
-  // partitions reduces each coefficient's sensitivity to Lambda / l.
+  // Algorithm 2 step 3: Laplace noise with scale C(m,2) * Lambda / (l_s *
+  // epsilon2), Lambda = 2 (diameter of [-1, 1]). Averaging over l_s disjoint
+  // partitions reduces each coefficient's sensitivity to Lambda / l_s.
   const double num_pairs = static_cast<double>(m) * (m - 1) / 2.0;
   constexpr double kLambda = 2.0;
   const double scale =
-      num_pairs * kLambda / (static_cast<double>(l) * epsilon2);
+      num_pairs * kLambda / (static_cast<double>(survivors) * epsilon2);
 
   linalg::Matrix p(m, m);
   for (std::size_t j = 0; j < m; ++j) p(j, j) = 1.0;
@@ -137,6 +168,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   MleEstimate est;
   est.num_partitions = l;
   est.rows_per_partition = b;
+  est.failed_partitions = failed;
   est.laplace_scale = scale;
   est.repaired = !linalg::IsPositiveDefinite(p);
   {

@@ -28,6 +28,15 @@ struct MleEstimatorOptions {
   /// the released matrix is bit-identical for any thread count. 0 =
   /// hardware concurrency, <= 1 = sequential.
   int num_threads = 1;
+
+  /// Degradation policy: how many of the l per-partition fits may fail
+  /// before the whole estimate fails closed. Surviving partitions are
+  /// averaged; each coefficient's sensitivity grows to Lambda / l_s for l_s
+  /// survivors, so the Laplace scale is enlarged accordingly and the
+  /// released matrix stays epsilon2-DP. The budget attributed to failed
+  /// partitions is still charged — never refunded. 0 (default) keeps the
+  /// strict behavior: any partition failure fails the estimate.
+  std::int64_t max_failed_partitions = 0;
 };
 
 /// Diagnostics reported alongside the private correlation matrix.
@@ -35,6 +44,9 @@ struct MleEstimate {
   linalg::Matrix correlation;     // The DP correlation matrix P~ (valid).
   std::int64_t num_partitions = 0;
   std::int64_t rows_per_partition = 0;
+  /// Partition fits that failed and were excluded from the average (always
+  /// <= options.max_failed_partitions on a returned estimate).
+  std::int64_t failed_partitions = 0;
   double laplace_scale = 0.0;     // Noise scale per averaged coefficient.
   bool repaired = false;
 };

@@ -1,7 +1,9 @@
 #include "copula/sampler.h"
 
+#include <atomic>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "linalg/cholesky.h"
 #include "obs/metrics.h"
@@ -67,6 +69,9 @@ Result<data::Table> SampleSyntheticData(
                        linalg::CholeskyDecompose(correlation));
 
   data::Table out = data::Table::Zeros(schema, num_rows);
+  // Fail-closed flag: a row-level fault anywhere aborts the whole sample —
+  // a partially-filled table must never be released.
+  std::atomic<bool> injected_failure{false};
   // Rows are sharded with a fixed grain and one split RNG per shard, so the
   // output is bit-identical for every thread count (including 1). Each shard
   // writes a disjoint row range of the column vectors — no synchronization
@@ -79,6 +84,10 @@ Result<data::Table> SampleSyntheticData(
             static_cast<std::int64_t>(row_end - row_begin));
         std::vector<double> z(m), corr_z(m);
         for (std::size_t r = row_begin; r < row_end; ++r) {
+          if (DPC_FAILPOINT_AT("sampler.row", r)) {
+            injected_failure.store(true, std::memory_order_relaxed);
+            break;
+          }
           for (std::size_t j = 0; j < m; ++j) {
             z[j] = shard_rng->NextGaussian();
           }
@@ -95,6 +104,9 @@ Result<data::Table> SampleSyntheticData(
         }
       },
       num_threads);
+  if (injected_failure.load(std::memory_order_relaxed)) {
+    return failpoint::InjectedFault("sampler.row");
+  }
   return out;
 }
 
@@ -112,6 +124,7 @@ Result<data::Table> SampleSyntheticDataT(
                        linalg::CholeskyDecompose(correlation));
 
   data::Table out = data::Table::Zeros(schema, num_rows);
+  std::atomic<bool> injected_failure{false};
   ParallelForSharded(
       0, num_rows, kSamplerShardRows, rng,
       [&](std::size_t row_begin, std::size_t row_end, Rng* shard_rng) {
@@ -122,6 +135,10 @@ Result<data::Table> SampleSyntheticDataT(
             static_cast<std::int64_t>(row_end - row_begin));
         std::vector<double> z(m);
         for (std::size_t r = row_begin; r < row_end; ++r) {
+          if (DPC_FAILPOINT_AT("sampler.row", r)) {
+            injected_failure.store(true, std::memory_order_relaxed);
+            break;
+          }
           for (std::size_t j = 0; j < m; ++j) {
             z[j] = shard_rng->NextGaussian();
           }
@@ -138,6 +155,9 @@ Result<data::Table> SampleSyntheticDataT(
         }
       },
       num_threads);
+  if (injected_failure.load(std::memory_order_relaxed)) {
+    return failpoint::InjectedFault("sampler.row");
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "copula/empirical_copula.h"
 #include "copula/pseudo_obs.h"
 #include "copula/sampler.h"
@@ -187,44 +188,76 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
     return result;
   }
 
-  // Step 2: DP correlation matrix with epsilon2.
+  // Step 2: DP correlation matrix with epsilon2. Each estimator branch
+  // charges its budget *before* running the mechanism, so a failure after
+  // the charge can never be refunded; a failed estimate either fails the
+  // run closed (nothing released) or — with allow_degraded_correlation —
+  // degrades to an identity correlation over the already-published margins.
   if (estimate_correlation) {
+    static obs::Counter* const degraded_counter =
+        obs::MetricsRegistry::Global().GetCounter(
+            "core.degraded_correlations");
     obs::Span correlation_span("correlation");
-    switch (options.estimator) {
-      case CorrelationEstimator::kKendall: {
-        DPC_RETURN_NOT_OK(
-            result.budget.Charge(epsilon2, "correlation:kendall"));
-        copula::KendallEstimatorOptions kendall_opts = options.kendall;
-        kendall_opts.num_threads = options.num_threads;
-        DPC_ASSIGN_OR_RETURN(
-            copula::KendallEstimate est,
-            copula::EstimateKendallCorrelation(table, epsilon2, rng,
-                                               kendall_opts));
-        // Lemma 4.1: each tau's noise is calibrated to 4/(n_used + 1),
-        // only known once the estimator picked its subsample.
-        result.budget.AnnotateLastChargeSensitivity(
-            4.0 / (static_cast<double>(est.rows_used) + 1.0));
-        result.correlation = std::move(est.correlation);
-        result.kendall_rows_used = est.rows_used;
-        result.correlation_repaired = est.repaired;
-        break;
+    Status est_status = Status::OK();
+    if (DPC_FAILPOINT("core.correlation_estimate")) {
+      DPC_RETURN_NOT_OK(
+          result.budget.Charge(epsilon2, "correlation:injected"));
+      est_status = failpoint::InjectedFault("core.correlation_estimate");
+    } else {
+      switch (options.estimator) {
+        case CorrelationEstimator::kKendall: {
+          DPC_RETURN_NOT_OK(
+              result.budget.Charge(epsilon2, "correlation:kendall"));
+          copula::KendallEstimatorOptions kendall_opts = options.kendall;
+          kendall_opts.num_threads = options.num_threads;
+          Result<copula::KendallEstimate> est =
+              copula::EstimateKendallCorrelation(table, epsilon2, rng,
+                                                 kendall_opts);
+          if (!est.ok()) {
+            est_status = est.status();
+            break;
+          }
+          // Lemma 4.1: each tau's noise is calibrated to 4/(n_used + 1),
+          // only known once the estimator picked its subsample.
+          result.budget.AnnotateLastChargeSensitivity(
+              4.0 / (static_cast<double>(est->rows_used) + 1.0));
+          result.correlation = std::move(est->correlation);
+          result.kendall_rows_used = est->rows_used;
+          result.correlation_repaired = est->repaired;
+          break;
+        }
+        case CorrelationEstimator::kMle: {
+          DPC_RETURN_NOT_OK(
+              result.budget.Charge(epsilon2, "correlation:mle"));
+          copula::MleEstimatorOptions mle_opts = options.mle;
+          mle_opts.num_threads = options.num_threads;
+          Result<copula::MleEstimate> est =
+              copula::EstimateMleCorrelation(table, epsilon2, rng, mle_opts);
+          if (!est.ok()) {
+            est_status = est.status();
+            break;
+          }
+          // Algorithm 2: averaging the l_s surviving disjoint partitions
+          // leaves each coefficient with sensitivity Lambda / l_s = 2 / l_s
+          // (l_s == l when no partition fit failed).
+          result.budget.AnnotateLastChargeSensitivity(
+              2.0 / static_cast<double>(est->num_partitions -
+                                        est->failed_partitions));
+          result.correlation = std::move(est->correlation);
+          result.mle_partitions = est->num_partitions;
+          result.partitions_failed = est->failed_partitions;
+          result.correlation_repaired = est->repaired;
+          break;
+        }
       }
-      case CorrelationEstimator::kMle: {
-        DPC_RETURN_NOT_OK(result.budget.Charge(epsilon2, "correlation:mle"));
-        copula::MleEstimatorOptions mle_opts = options.mle;
-        mle_opts.num_threads = options.num_threads;
-        DPC_ASSIGN_OR_RETURN(
-            copula::MleEstimate est,
-            copula::EstimateMleCorrelation(table, epsilon2, rng, mle_opts));
-        // Algorithm 2: averaging l disjoint partitions leaves each
-        // coefficient with sensitivity Lambda / l = 2 / l.
-        result.budget.AnnotateLastChargeSensitivity(
-            2.0 / static_cast<double>(est.num_partitions));
-        result.correlation = std::move(est.correlation);
-        result.mle_partitions = est.num_partitions;
-        result.correlation_repaired = est.repaired;
-        break;
-      }
+    }
+    if (!est_status.ok()) {
+      if (!options.allow_degraded_correlation) return est_status;
+      degraded_counter->Increment();
+      obs::Log(obs::LogLevel::kWarn, "synthesize.correlation_degraded")
+          .Field("columns", m);
+      result.correlation = linalg::Matrix::Identity(m);
+      result.correlation_degraded = true;
     }
   } else {
     result.correlation = linalg::Matrix::Identity(m);

@@ -90,6 +90,17 @@ struct DpCopulaOptions {
   /// scale counts back by 1/oversample_factor (see
   /// baselines::ScaledTableEstimator).
   double oversample_factor = 1.0;
+
+  /// Degradation policy: when the correlation estimator fails (after its
+  /// epsilon2 charge — budgets are charged up front and never refunded),
+  /// fall back to an identity correlation and synthesize from the
+  /// already-published DP margins alone instead of failing the run. The
+  /// release is still epsilon-DP (independent margins are a strictly less
+  /// informative post-processing of the same charges); the accuracy
+  /// downgrade is recorded in SynthesisResult::correlation_degraded. Off by
+  /// default: a standalone run should fail loudly. The hybrid synthesizer
+  /// turns this on per partition.
+  bool allow_degraded_correlation = false;
 };
 
 /// Everything a synthesis run releases, plus diagnostics.
@@ -102,6 +113,11 @@ struct SynthesisResult {
   std::int64_t kendall_rows_used = 0;
   std::int64_t mle_partitions = 0;
   bool correlation_repaired = false;
+  // Degradation diagnostics: MLE partition fits that failed and were
+  // excluded from the average, and whether the correlation estimate itself
+  // was abandoned for the identity fallback (allow_degraded_correlation).
+  std::int64_t partitions_failed = 0;
+  bool correlation_degraded = false;
   // Copula family actually sampled from, and the dof if Student-t.
   CopulaFamily family_used = CopulaFamily::kGaussian;
   double t_dof_used = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -66,10 +67,12 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
     DpCopulaOptions inner = options.inner;
     inner.epsilon = options.epsilon;
     inner.num_synthetic_rows = 0;
+    inner.allow_degraded_correlation = options.allow_degraded_partitions;
     DPC_ASSIGN_OR_RETURN(SynthesisResult res, Synthesize(table, inner, rng));
     HybridResult out;
     out.synthetic = std::move(res.synthetic);
     out.num_partitions = 1;
+    out.degraded_partitions = res.correlation_degraded ? 1 : 0;
     out.epsilon_copula = options.epsilon;
     out.budget = std::move(res.budget);
     return out;
@@ -132,9 +135,13 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
   struct PartitionOutput {
     Status status = Status::OK();
     bool skipped = false;
+    bool degraded = false;
     data::Table synth;
   };
   std::vector<PartitionOutput> parts(combos.size());
+  static obs::Counter* const partitions_degraded =
+      obs::MetricsRegistry::Global().GetCounter(
+          "hybrid.partitions_degraded");
 
   // Workers run on pool threads, so they attach their spans to the run
   // span through an explicit handle rather than the thread-local stack.
@@ -146,6 +153,16 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
           obs::Span part_span("hybrid.partition[" + std::to_string(p) + "]",
                               run_span_id);
           obs::ScopedTimer part_timer(partition_seconds);
+          // Key any fail point evaluated inside this partition's work —
+          // including generic sites deep in the inner Synthesize — to the
+          // partition index, so a fault schedule fires on the same
+          // partitions for every thread count.
+          failpoint::ScopedContext failpoint_ctx(p);
+          if (DPC_FAILPOINT_AT("hybrid.partition.synthesize", p)) {
+            parts[p].status =
+                failpoint::InjectedFault("hybrid.partition.synthesize");
+            continue;
+          }
           const std::vector<std::int64_t>& c = combos[p];
           Rng* part_rng = &part_rngs[p];
           PartitionOutput& po = parts[p];
@@ -193,10 +210,18 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
             DpCopulaOptions inner = options.inner;
             inner.epsilon = eps_copula;
             inner.num_synthetic_rows = static_cast<std::size_t>(n_synth);
+            inner.allow_degraded_correlation =
+                options.allow_degraded_partitions;
             auto res = Synthesize(*projected, inner, part_rng);
             if (!res.ok()) {
               po.status = res.status();
               continue;
+            }
+            if (res->correlation_degraded) {
+              po.degraded = true;
+              partitions_degraded->Increment();
+              obs::Log(obs::LogLevel::kWarn, "hybrid.partition_degraded")
+                  .Field("partition", p);
             }
 
             // Reassemble in original column order.
@@ -224,11 +249,13 @@ Result<HybridResult> SynthesizeHybrid(const data::Table& table,
       ++out.num_skipped_partitions;
       continue;
     }
+    if (po.degraded) ++out.degraded_partitions;
     DPC_RETURN_NOT_OK(out.synthetic.Concat(po.synth));
   }
   obs::Log(obs::LogLevel::kInfo, "hybrid.done")
       .Field("partitions", out.num_partitions)
       .Field("skipped", out.num_skipped_partitions)
+      .Field("degraded", out.degraded_partitions)
       .Field("rows", out.synthetic.num_rows());
   return out;
 }

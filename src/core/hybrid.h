@@ -37,6 +37,17 @@ struct HybridOptions {
   /// Total privacy budget of the hybrid release.
   double epsilon = 1.0;
 
+  /// Degradation policy: when a partition's inner copula fit fails (its
+  /// correlation estimate is degenerate — e.g. the partition is too small
+  /// or ill-conditioned), synthesize that partition from its DP margins
+  /// alone (identity correlation) instead of failing the whole hybrid run.
+  /// The budget story is unchanged: every partition's charges happen up
+  /// front and are never refunded, and independent margins are
+  /// post-processing of the same release. Degraded partitions are counted
+  /// in HybridResult::degraded_partitions. On by default — one bad
+  /// partition out of hundreds should cost accuracy there, not the run.
+  bool allow_degraded_partitions = true;
+
   /// Worker threads (shared ThreadPool) for the per-partition DPCopula
   /// runs. Each partition's noise draws come from an RNG pre-split in
   /// partition order, and partitions are concatenated in that same order,
@@ -52,6 +63,9 @@ struct HybridResult {
   data::Table synthetic;
   std::int64_t num_partitions = 0;
   std::int64_t num_skipped_partitions = 0;  // Noisy count <= 0.
+  /// Partitions whose copula fit failed and were synthesized from margins
+  /// alone (see HybridOptions::allow_degraded_partitions).
+  std::int64_t degraded_partitions = 0;
   double epsilon_counts = 0.0;
   double epsilon_copula = 0.0;
   /// Top-level charge log (total == options.epsilon). Partitions are

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
 #include "copula/sampler.h"
 #include "linalg/psd_repair.h"
 #include "stats/empirical_cdf.h"
@@ -45,9 +47,7 @@ Result<data::Table> SampleFromModel(const DpCopulaModel& model,
                                      rows, rng);
 }
 
-Status SaveModel(const DpCopulaModel& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+Status SerializeModel(const DpCopulaModel& model, std::ostream& out) {
   out.precision(17);
   out << "DPCOPULA-MODEL v1\n";
   out << "attributes " << model.schema.num_attributes() << "\n";
@@ -70,8 +70,14 @@ Status SaveModel(const DpCopulaModel& model, const std::string& path) {
       out << model.correlation(i, j) << (j + 1 < m ? ' ' : '\n');
     }
   }
-  if (!out) return Status::IOError("write failed: " + path);
+  if (!out) return Status::IOError("model serialization stream failed");
   return Status::OK();
+}
+
+Status SaveModel(const DpCopulaModel& model, const std::string& path) {
+  return WriteFileAtomic(path, [&](std::ostream& out) -> Status {
+    return SerializeModel(model, out);
+  });
 }
 
 namespace {
@@ -85,6 +91,9 @@ Status ParseError(const std::string& what) {
 Result<DpCopulaModel> LoadModel(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
+  if (DPC_FAILPOINT("model.load.open")) {
+    return failpoint::InjectedFault("model.load.open");
+  }
   std::string line;
   if (!std::getline(in, line) || line != "DPCOPULA-MODEL v1") {
     return ParseError("bad header");

@@ -1,6 +1,7 @@
 #ifndef DPCOPULA_CORE_MODEL_IO_H_
 #define DPCOPULA_CORE_MODEL_IO_H_
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -40,8 +41,16 @@ DpCopulaModel ModelFromSynthesis(const data::Schema& schema,
 Result<data::Table> SampleFromModel(const DpCopulaModel& model,
                                     std::size_t num_rows, Rng* rng);
 
-/// Serializes the model to a self-describing text file ("DPCOPULA-MODEL v1"
-/// header, one section per field). Returns IOError on filesystem failure.
+/// Writes the self-describing text format ("DPCOPULA-MODEL v1" header, one
+/// section per field) to an already-open stream. Used by SaveModel and by
+/// StreamingSynthesizer::SaveState, which appends its counters after the
+/// model body inside the same atomic write.
+Status SerializeModel(const DpCopulaModel& model, std::ostream& out);
+
+/// Serializes the model to a file. Crash-safe: the content is staged in
+/// `<path>.tmp`, fsync'ed, and atomically renamed onto `path`, so an
+/// interrupted save never leaves a truncated model. Returns IOError on
+/// filesystem failure.
 Status SaveModel(const DpCopulaModel& model, const std::string& path);
 
 /// Loads and validates a model written by SaveModel.

@@ -4,8 +4,13 @@
 #include <cmath>
 #include <fstream>
 #include <string>
+#include <utility>
 
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
 #include "linalg/psd_repair.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace dpcopula::core {
 
@@ -27,6 +32,8 @@ Status StreamingSynthesizer::Validate() const {
 }
 
 Status StreamingSynthesizer::Ingest(const data::Table& batch, Rng* rng) {
+  static obs::Counter* const batches_rejected =
+      obs::MetricsRegistry::Global().GetCounter("streaming.batches_rejected");
   DPC_RETURN_NOT_OK(Validate());
   if (!(batch.schema() == schema_)) {
     return Status::InvalidArgument("streaming: batch schema mismatch");
@@ -41,7 +48,15 @@ Status StreamingSynthesizer::Ingest(const data::Table& batch, Rng* rng) {
   fit.num_synthetic_rows = 0;
   fit.oversample_factor = 1.0;
   Result<SynthesisResult> result = core::Synthesize(batch, fit, rng);
-  DPC_RETURN_NOT_OK(result.status());
+  if (!result.ok()) {
+    // Poisoned batch: the fit failed, the accumulated model is untouched
+    // (nothing below has run) and ingestion can continue with later batches.
+    batches_rejected->Increment();
+    obs::Log(obs::LogLevel::kWarn, "streaming.batch_rejected")
+        .Field("batch", num_batches_)
+        .Field("reason", "fit_failed");
+    return result.status();
+  }
 
   // Batch weight: the noisy marginal mass is itself a DP estimate of the
   // batch size (post-processing of already-released counts).
@@ -51,33 +66,49 @@ Status StreamingSynthesizer::Ingest(const data::Table& batch, Rng* rng) {
   }
   batch_weight = std::max(1.0, batch_weight);
 
+  // Stage the post-merge state into locals; the members are committed only
+  // once every step has succeeded, so a failure mid-merge (or the injected
+  // fault below) rejects the batch without corrupting the accumulated model.
   const std::size_t m = schema_.num_attributes();
+  std::vector<std::vector<double>> staged_margins = merged_margins_;
+  linalg::Matrix staged_correlation = merged_correlation_;
   if (num_batches_ == 0) {
-    merged_margins_.assign(m, {});
+    staged_margins.assign(m, {});
     for (std::size_t j = 0; j < m; ++j) {
-      merged_margins_[j].assign(
+      staged_margins[j].assign(
           static_cast<std::size_t>(schema_.attribute(j).domain_size), 0.0);
     }
-    merged_correlation_ = linalg::Matrix(m, m);
+    staged_correlation = linalg::Matrix(m, m);
   }
 
   // Age out history, then merge.
   const double old_weight = weight_ * options_.decay;
-  for (auto& margin : merged_margins_) {
+  for (auto& margin : staged_margins) {
     for (double& v : margin) v *= options_.decay;
   }
   // Margins are additive over disjoint batches.
   for (std::size_t j = 0; j < m; ++j) {
     const auto& batch_margin = result->noisy_marginals[j];
     for (std::size_t v = 0; v < batch_margin.size(); ++v) {
-      merged_margins_[j][v] += std::max(0.0, batch_margin[v]);
+      staged_margins[j][v] += std::max(0.0, batch_margin[v]);
     }
   }
   // Correlations: weighted mean of per-batch DP estimates.
   const double total_weight = old_weight + batch_weight;
-  merged_correlation_ = merged_correlation_.Scaled(old_weight / total_weight) +
-                        result->correlation.Scaled(batch_weight /
-                                                   total_weight);
+  staged_correlation = staged_correlation.Scaled(old_weight / total_weight) +
+                       result->correlation.Scaled(batch_weight / total_weight);
+
+  if (DPC_FAILPOINT_AT("streaming.ingest.merge", num_batches_)) {
+    batches_rejected->Increment();
+    obs::Log(obs::LogLevel::kWarn, "streaming.batch_rejected")
+        .Field("batch", num_batches_)
+        .Field("reason", "injected");
+    return failpoint::InjectedFault("streaming.ingest.merge");
+  }
+
+  // Commit.
+  merged_margins_ = std::move(staged_margins);
+  merged_correlation_ = std::move(staged_correlation);
   weight_ = total_weight;
   ++num_batches_;
   return Status::OK();
@@ -115,15 +146,16 @@ Status StreamingSynthesizer::SaveState(const std::string& path) const {
   // repaired matrix, an acceptable projection).
   Result<DpCopulaModel> model = CurrentModel();
   DPC_RETURN_NOT_OK(model.status());
-  DPC_RETURN_NOT_OK(SaveModel(*model, path));
-  // Append the streaming counters.
-  std::ofstream out(path, std::ios::app);
-  if (!out) return Status::IOError("cannot append streaming state: " + path);
-  out.precision(17);
-  out << "streaming_weight " << weight_ << "\n";
-  out << "streaming_batches " << num_batches_ << "\n";
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // One atomic write covers the model body and the appended streaming
+  // counters: a crash mid-save can never leave a model file without its
+  // counters (which RestoreState would reject as corrupt).
+  return WriteFileAtomic(path, [&](std::ostream& out) -> Status {
+    DPC_RETURN_NOT_OK(SerializeModel(*model, out));
+    out << "streaming_weight " << weight_ << "\n";
+    out << "streaming_batches " << num_batches_ << "\n";
+    if (!out) return Status::IOError("streaming state stream failed");
+    return Status::OK();
+  });
 }
 
 Result<StreamingSynthesizer> StreamingSynthesizer::RestoreState(

@@ -5,33 +5,97 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace dpcopula::data {
 
 Status WriteCsv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  const auto& schema = table.schema();
-  for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
-    if (j) out << ',';
-    out << schema.attribute(j).name;
-  }
-  out << '\n';
-  for (std::size_t r = 0; r < table.num_rows(); ++r) {
-    for (std::size_t j = 0; j < table.num_columns(); ++j) {
+  return WriteFileAtomic(path, [&](std::ostream& out) -> Status {
+    const auto& schema = table.schema();
+    for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
       if (j) out << ',';
-      out << static_cast<long long>(std::llround(table.at(r, j)));
+      out << schema.attribute(j).name;
     }
     out << '\n';
-  }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      for (std::size_t j = 0; j < table.num_columns(); ++j) {
+        if (j) out << ',';
+        out << static_cast<long long>(std::llround(table.at(r, j)));
+      }
+      out << '\n';
+    }
+    if (!out) return Status::IOError("write failed: " + path);
+    return Status::OK();
+  });
 }
 
 namespace {
 
-Result<Table> ReadCsvImpl(const std::string& path, const Schema* schema) {
+/// Why one data row failed to parse. Reasons are structural — they never
+/// depend on what the offending cells contained.
+enum class RowDefect {
+  kNone,
+  kTooManyCells,
+  kTooFewCells,
+  kNonNumeric,
+  kNonFinite,
+  kInjected,
+};
+
+const char* RowDefectName(RowDefect defect) {
+  switch (defect) {
+    case RowDefect::kNone: return "none";
+    case RowDefect::kTooManyCells: return "too many cells";
+    case RowDefect::kTooFewCells: return "too few cells";
+    case RowDefect::kNonNumeric: return "non-numeric cell";
+    case RowDefect::kNonFinite: return "non-finite cell";
+    case RowDefect::kInjected: return "injected fault (csv.read.row)";
+  }
+  return "unknown";
+}
+
+/// Parses one data row into `cells` (resized to the column count).
+/// `check_non_finite` is off for the legacy strict readers, whose behavior
+/// must stay bit-for-bit unchanged.
+RowDefect ParseRow(const std::string& line, std::size_t num_columns,
+                   std::size_t row_index, bool check_non_finite,
+                   std::vector<double>* cells) {
+  if (DPC_FAILPOINT_AT("csv.read.row", row_index)) {
+    return RowDefect::kInjected;
+  }
+  std::stringstream ss(line);
+  std::string cell;
+  std::size_t j = 0;
+  RowDefect defect = RowDefect::kNone;
+  while (std::getline(ss, cell, ',')) {
+    if (j >= num_columns) return RowDefect::kTooManyCells;
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str()) return RowDefect::kNonNumeric;
+    if (check_non_finite && !std::isfinite(v)) {
+      defect = RowDefect::kNonFinite;  // Keep scanning for arity defects.
+    }
+    (*cells)[j++] = v;
+  }
+  if (j != num_columns) return RowDefect::kTooFewCells;
+  return defect;
+}
+
+Result<CsvReadResult> ReadCsvImpl(const std::string& path,
+                                  const Schema* schema,
+                                  const ReadCsvOptions& options,
+                                  bool check_non_finite) {
+  static obs::Counter* const quarantined_counter =
+      obs::MetricsRegistry::Global().GetCounter("csv.rows_quarantined");
+
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
+  if (DPC_FAILPOINT("csv.read.open")) {
+    return failpoint::InjectedFault("csv.read.open");
+  }
 
   std::string line;
   if (!std::getline(in, line)) return Status::IOError("empty file: " + path);
@@ -44,31 +108,48 @@ Result<Table> ReadCsvImpl(const std::string& path, const Schema* schema) {
   }
   if (names.empty()) return Status::IOError("no header columns: " + path);
 
+  CsvReadStats stats;
   std::vector<std::vector<double>> cols(names.size());
+  std::vector<double> cells(names.size());
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::stringstream ss(line);
-    std::string cell;
-    std::size_t j = 0;
-    while (std::getline(ss, cell, ',')) {
-      if (j >= cols.size()) {
-        return Status::IOError("too many cells at line " +
-                               std::to_string(line_no));
+    const RowDefect defect =
+        ParseRow(line, names.size(), /*row_index=*/line_no - 2,
+                 check_non_finite, &cells);
+    if (defect == RowDefect::kNone) {
+      for (std::size_t j = 0; j < names.size(); ++j) {
+        cols[j].push_back(cells[j]);
       }
-      char* end = nullptr;
-      const double v = std::strtod(cell.c_str(), &end);
-      if (end == cell.c_str()) {
-        return Status::IOError("non-numeric cell at line " +
-                               std::to_string(line_no));
-      }
-      cols[j++].push_back(v);
+      ++stats.rows_kept;
+      continue;
     }
-    if (j != cols.size()) {
-      return Status::IOError("too few cells at line " +
-                             std::to_string(line_no));
+    ++stats.bad_rows;
+    if (stats.first_bad_line == 0) stats.first_bad_line = line_no;
+    switch (defect) {
+      case RowDefect::kNone: break;
+      case RowDefect::kTooManyCells: ++stats.bad_too_many_cells; break;
+      case RowDefect::kTooFewCells: ++stats.bad_too_few_cells; break;
+      case RowDefect::kNonNumeric: ++stats.bad_non_numeric; break;
+      case RowDefect::kNonFinite: ++stats.bad_non_finite; break;
+      case RowDefect::kInjected: ++stats.bad_injected; break;
     }
+    if (stats.bad_rows > options.max_bad_rows) {
+      return Status::IOError(
+          std::string(RowDefectName(defect)) + " at line " +
+          std::to_string(line_no) + " (" + std::to_string(stats.bad_rows) +
+          " bad rows exceeds max_bad_rows=" +
+          std::to_string(options.max_bad_rows) + ")");
+    }
+    quarantined_counter->Increment();
+  }
+  if (stats.bad_rows > 0) {
+    obs::Log(obs::LogLevel::kWarn, "csv.rows_quarantined")
+        .Field("path", path)
+        .Field("bad_rows", stats.bad_rows)
+        .Field("rows_kept", stats.rows_kept)
+        .Field("first_bad_line", stats.first_bad_line);
   }
 
   Schema result_schema;
@@ -95,18 +176,41 @@ Result<Table> ReadCsvImpl(const std::string& path, const Schema* schema) {
     }
     table.mutable_column(j) = std::move(cols[j]);
   }
-  return table;
+  CsvReadResult result;
+  result.table = std::move(table);
+  result.stats = stats;
+  return result;
+}
+
+/// Legacy strict error shape: the per-defect message without the
+/// max_bad_rows suffix, as the pre-tolerant reader produced.
+Result<Table> StrictRead(const std::string& path, const Schema* schema) {
+  auto result = ReadCsvImpl(path, schema, ReadCsvOptions{},
+                            /*check_non_finite=*/false);
+  if (!result.ok()) return result.status();
+  return std::move(result->table);
 }
 
 }  // namespace
 
 Result<Table> ReadCsv(const std::string& path) {
-  return ReadCsvImpl(path, nullptr);
+  return StrictRead(path, nullptr);
 }
 
 Result<Table> ReadCsvWithSchema(const std::string& path,
                                 const Schema& schema) {
-  return ReadCsvImpl(path, &schema);
+  return StrictRead(path, &schema);
+}
+
+Result<CsvReadResult> ReadCsvTolerant(const std::string& path,
+                                      const ReadCsvOptions& options) {
+  return ReadCsvImpl(path, nullptr, options, /*check_non_finite=*/true);
+}
+
+Result<CsvReadResult> ReadCsvTolerantWithSchema(
+    const std::string& path, const Schema& schema,
+    const ReadCsvOptions& options) {
+  return ReadCsvImpl(path, &schema, options, /*check_non_finite=*/true);
 }
 
 }  // namespace dpcopula::data

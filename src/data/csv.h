@@ -1,6 +1,7 @@
 #ifndef DPCOPULA_DATA_CSV_H_
 #define DPCOPULA_DATA_CSV_H_
 
+#include <cstddef>
 #include <string>
 
 #include "common/result.h"
@@ -9,14 +10,54 @@
 namespace dpcopula::data {
 
 /// Writes `table` to `path` as CSV with a header row of attribute names.
-/// Values are written as integers.
+/// Values are written as integers. The write is crash-safe: content goes
+/// to `<path>.tmp` and is fsync'ed before an atomic rename onto `path`, so
+/// an interrupted write never leaves a truncated CSV behind.
 Status WriteCsv(const Table& table, const std::string& path);
 
-/// Reads a CSV written by WriteCsv (numeric cells, header row). Domain sizes
-/// in the schema are inferred as max(value)+1 per column unless a schema is
-/// supplied.
+/// Knobs for tolerant CSV ingestion.
+struct ReadCsvOptions {
+  /// Maximum number of malformed/non-finite data rows to quarantine (drop
+  /// and count) before the read fails. 0 reproduces the strict behavior:
+  /// the first bad row fails the whole read.
+  std::size_t max_bad_rows = 0;
+};
+
+/// Per-reason tally of quarantined rows. The counts (and the line numbers
+/// in error messages) are positions and structural defects only — cell
+/// *values* never appear in statuses or logs.
+struct CsvReadStats {
+  std::size_t rows_kept = 0;
+  std::size_t bad_rows = 0;            // Sum of the per-reason counts.
+  std::size_t bad_too_many_cells = 0;
+  std::size_t bad_too_few_cells = 0;
+  std::size_t bad_non_numeric = 0;
+  std::size_t bad_non_finite = 0;      // Cells parsed to NaN/inf.
+  std::size_t bad_injected = 0;        // "csv.read.row" fail-point hits.
+  std::size_t first_bad_line = 0;      // 1-based file line; 0 = none.
+};
+
+struct CsvReadResult {
+  Table table;
+  CsvReadStats stats;
+};
+
+/// Reads a CSV written by WriteCsv (numeric cells, header row). Domain
+/// sizes in the schema are inferred as max(value)+1 per column unless a
+/// schema is supplied. Strict: any malformed row fails the read.
 Result<Table> ReadCsv(const std::string& path);
 Result<Table> ReadCsvWithSchema(const std::string& path, const Schema& schema);
+
+/// Tolerant variants: rows that fail to parse (wrong arity, non-numeric or
+/// non-finite cells) are quarantined and counted per reason instead of
+/// failing the read, up to `options.max_bad_rows`; one bad row past that
+/// fails closed. With max_bad_rows == 0 these behave exactly like the
+/// strict readers (plus the non-finite check).
+Result<CsvReadResult> ReadCsvTolerant(const std::string& path,
+                                      const ReadCsvOptions& options);
+Result<CsvReadResult> ReadCsvTolerantWithSchema(const std::string& path,
+                                                const Schema& schema,
+                                                const ReadCsvOptions& options);
 
 }  // namespace dpcopula::data
 

@@ -2,11 +2,16 @@
 
 #include <cmath>
 
+#include "common/failpoint.h"
+
 namespace dpcopula::linalg {
 
 Result<Matrix> CholeskyDecompose(const Matrix& a) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  if (DPC_FAILPOINT("linalg.cholesky")) {
+    return failpoint::InjectedFault("linalg.cholesky");
   }
   const std::size_t n = a.rows();
   Matrix l(n, n);
@@ -14,9 +19,12 @@ Result<Matrix> CholeskyDecompose(const Matrix& a) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
     if (diag <= 0.0 || !std::isfinite(diag)) {
+      // The failing pivot's *value* is derived from the data, so it stays
+      // out of the message (error text must be data-independent); the
+      // pivot index is structural and safe.
       return Status::NumericalError(
           "matrix is not positive definite (pivot " + std::to_string(j) +
-          " = " + std::to_string(diag) + ")");
+          ")");
     }
     l(j, j) = std::sqrt(diag);
     for (std::size_t i = j + 1; i < n; ++i) {

@@ -4,7 +4,22 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/failpoint.h"
+
 namespace dpcopula::linalg {
+
+namespace {
+
+// Sum of squared off-diagonal magnitudes; the Jacobi convergence criterion.
+double OffDiagonalNorm(const Matrix& d) {
+  const std::size_t n = d.rows();
+  double off = 0.0;
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+  return std::sqrt(off);
+}
+
+}  // namespace
 
 Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
                                     double tol) {
@@ -14,16 +29,23 @@ Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
   if (!a.IsSymmetric(1e-9)) {
     return Status::InvalidArgument("EigenSym requires a symmetric matrix");
   }
+  // This site simulates the sweep budget running out, so it surfaces as the
+  // same NumericalError real non-convergence produces — that is what lets
+  // the fault exercise callers' retry policies (psd_repair shrinkage).
+  if (DPC_FAILPOINT("linalg.eigen.converge")) {
+    return Status::NumericalError(
+        "injected fault at fail point 'linalg.eigen.converge'");
+  }
   const std::size_t n = a.rows();
   Matrix d = a;  // Will be driven to diagonal form.
   Matrix v = Matrix::Identity(n);
 
+  bool converged = false;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    // Sum of squared off-diagonal magnitudes; convergence criterion.
-    double off = 0.0;
-    for (std::size_t p = 0; p < n; ++p)
-      for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
-    if (std::sqrt(off) <= tol) break;
+    if (OffDiagonalNorm(d) <= tol) {
+      converged = true;
+      break;
+    }
 
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
@@ -59,6 +81,13 @@ Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
         }
       }
     }
+  }
+  // The loop tests convergence *before* each sweep, so after exhausting
+  // max_sweeps the final sweep's result still needs checking.
+  if (!converged && OffDiagonalNorm(d) > tol) {
+    return Status::NumericalError(
+        "EigenSym did not converge within " + std::to_string(max_sweeps) +
+        " Jacobi sweeps");
   }
 
   EigenDecomposition ed;

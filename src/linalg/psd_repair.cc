@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace dpcopula::linalg {
 
@@ -36,7 +39,31 @@ void NormalizeToCorrelation(Matrix* a) {
 
 Result<Matrix> RepairToCorrelation(const Matrix& a,
                                    const PsdRepairOptions& options) {
-  DPC_ASSIGN_OR_RETURN(EigenDecomposition ed, EigenSym(a));
+  static obs::Counter* const eigen_retries =
+      obs::MetricsRegistry::Global().GetCounter("linalg.eigen_retries");
+  if (DPC_FAILPOINT("linalg.psd_repair")) {
+    return failpoint::InjectedFault("linalg.psd_repair");
+  }
+  Result<EigenDecomposition> decomp = EigenSym(a);
+  if (!decomp.ok() &&
+      decomp.status().code() == StatusCode::kNumericalError) {
+    // Recovery policy: one retry after diagonal shrinkage toward the
+    // identity. The shrunk matrix (1-g)A + gI has the same eigenvectors
+    // as A and strictly better-conditioned off-diagonal mass, so a sweep
+    // budget that was barely insufficient becomes sufficient; the
+    // resulting repaired matrix is an explicitly *worse* (more
+    // independent) correlation estimate, which is the accuracy downgrade
+    // this degradation trades for availability. A second failure fails
+    // closed.
+    eigen_retries->Increment();
+    obs::Log(obs::LogLevel::kWarn, "psd_repair.eigen_retry")
+        .Field("dim", a.rows());
+    constexpr double kShrink = 0.05;
+    const Matrix shrunk =
+        a.Scaled(1.0 - kShrink) + Matrix::Identity(a.rows()).Scaled(kShrink);
+    decomp = EigenSym(shrunk);
+  }
+  DPC_ASSIGN_OR_RETURN(EigenDecomposition ed, std::move(decomp));
   for (double& lambda : ed.values) {
     if (lambda < options.min_eigenvalue) {
       lambda = options.use_abs

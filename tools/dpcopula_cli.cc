@@ -19,6 +19,10 @@
 //   --threads N         worker threads (0 = all hardware threads; default 0;
 //                       output is identical for every value)
 //   --seed N            RNG seed (default 42)
+//   --max-bad-rows N    quarantine up to N malformed/non-finite input rows
+//                       (counted per reason) instead of failing (default 0)
+//   --strict-csv        fail on the first malformed input row (the default;
+//                       overrides --max-bad-rows)
 //   --model-out PATH    also save the fitted DP model (non-hybrid only)
 //   --model-in PATH     skip fitting: load a saved model and sample from it
 //   --trace-json PATH   write a JSON run report (span tree, metrics, budget
@@ -51,6 +55,8 @@ struct CliArgs {
   long long rows = 0;
   double oversample = 1.0;
   int threads = 0;  // 0 = hardware concurrency.
+  long long max_bad_rows = 0;
+  bool strict_csv = false;
   unsigned long long seed = 42;
   std::string model_out;
   std::string model_in;
@@ -78,6 +84,7 @@ void Usage(const char* argv0) {
                "[--epsilon X] [--k X] [--estimator kendall|mle] "
                "[--family gaussian|t|auto] [--t-dof X] [--no-hybrid] "
                "[--rows N] [--oversample X] [--threads N] [--seed N] "
+               "[--max-bad-rows N] [--strict-csv] "
                "[--trace-json PATH] [--log-level LEVEL]\n",
                argv0);
 }
@@ -130,6 +137,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->threads = std::atoi(v);
+    } else if (flag == "--max-bad-rows") {
+      const char* v = next();
+      if (!v) return false;
+      args->max_bad_rows = std::atoll(v);
+    } else if (flag == "--strict-csv") {
+      args->strict_csv = true;
     } else if (flag == "--seed") {
       const char* v = next();
       if (!v) return false;
@@ -227,12 +240,37 @@ int main(int argc, char** argv) {
     return write_report(nullptr) ? 0 : 1;
   }
 
-  auto table = data::ReadCsv(args.input);
-  if (!table.ok()) {
-    std::fprintf(stderr, "failed to read %s: %s\n", args.input.c_str(),
-                 table.status().ToString().c_str());
-    return 1;
+  data::Table input_table{data::Schema()};
+  if (args.strict_csv || args.max_bad_rows <= 0) {
+    auto table = data::ReadCsv(args.input);
+    if (!table.ok()) {
+      std::fprintf(stderr, "failed to read %s: %s\n", args.input.c_str(),
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    input_table = std::move(*table);
+  } else {
+    data::ReadCsvOptions read_options;
+    read_options.max_bad_rows = static_cast<std::size_t>(args.max_bad_rows);
+    auto read = data::ReadCsvTolerant(args.input, read_options);
+    if (!read.ok()) {
+      std::fprintf(stderr, "failed to read %s: %s\n", args.input.c_str(),
+                   read.status().ToString().c_str());
+      return 1;
+    }
+    const data::CsvReadStats& stats = read->stats;
+    if (stats.bad_rows > 0) {
+      std::fprintf(stderr,
+                   "quarantined %zu bad rows (first at line %zu): "
+                   "%zu too-many-cells, %zu too-few-cells, %zu non-numeric, "
+                   "%zu non-finite\n",
+                   stats.bad_rows, stats.first_bad_line,
+                   stats.bad_too_many_cells, stats.bad_too_few_cells,
+                   stats.bad_non_numeric, stats.bad_non_finite);
+    }
+    input_table = std::move(read->table);
   }
+  const data::Table* table = &input_table;
   std::fprintf(stderr, "read %zu rows x %zu attributes from %s\n",
                table->num_rows(), table->num_columns(), args.input.c_str());
 

@@ -7,10 +7,13 @@
 //
 //   dpcopula_eval --original data.csv --synthetic synth.csv [--queries N]
 //                 [--sanity S] [--threads N] [--seed N]
+//                 [--max-bad-rows N] [--strict-csv]
 //                 [--trace-json PATH] [--log-level LEVEL]
 //
 // --threads parallelizes the O(n^2) DCR privacy audit (0 = all hardware
 // threads); the report is identical for every thread count.
+// --max-bad-rows quarantines up to N malformed/non-finite rows per input
+// file (strict by default; --strict-csv forces the default explicitly).
 // --trace-json writes a JSON run report (phase spans + metrics; no budget
 // section — evaluation spends no privacy).
 #include <cstdio>
@@ -36,6 +39,8 @@ struct CliArgs {
   std::size_t queries = 500;
   double sanity = 1.0;
   int threads = 0;  // 0 = hardware concurrency.
+  long long max_bad_rows = 0;
+  bool strict_csv = false;
   unsigned long long seed = 42;
   std::string trace_json;
   std::string log_level = "warn";
@@ -67,6 +72,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->threads = std::atoi(v);
+    } else if (flag == "--max-bad-rows") {
+      const char* v = next();
+      if (!v) return false;
+      args->max_bad_rows = std::atoll(v);
+    } else if (flag == "--strict-csv") {
+      args->strict_csv = true;
     } else if (flag == "--seed") {
       const char* v = next();
       if (!v) return false;
@@ -96,6 +107,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --original data.csv --synthetic synth.csv "
                  "[--queries N] [--sanity S] [--threads N] [--seed N] "
+                 "[--max-bad-rows N] [--strict-csv] "
                  "[--trace-json PATH] [--log-level LEVEL]\n",
                  argv[0]);
     return 2;
@@ -110,7 +122,30 @@ int main(int argc, char** argv) {
   obs_config.metrics = !args.trace_json.empty();
   obs::SetObsConfig(obs_config);
 
-  auto original = data::ReadCsv(args.original);
+  const bool tolerant = !args.strict_csv && args.max_bad_rows > 0;
+  data::ReadCsvOptions read_options;
+  read_options.max_bad_rows =
+      tolerant ? static_cast<std::size_t>(args.max_bad_rows) : 0;
+  auto report_quarantine = [](const char* path,
+                              const data::CsvReadStats& stats) {
+    if (stats.bad_rows == 0) return;
+    std::fprintf(stderr,
+                 "%s: quarantined %zu bad rows (first at line %zu)\n", path,
+                 stats.bad_rows, stats.first_bad_line);
+  };
+
+  Result<data::Table> original(data::Table{data::Schema()});
+  if (tolerant) {
+    auto read = data::ReadCsvTolerant(args.original, read_options);
+    if (read.ok()) {
+      report_quarantine(args.original.c_str(), read->stats);
+      original = std::move(read->table);
+    } else {
+      original = read.status();
+    }
+  } else {
+    original = data::ReadCsv(args.original);
+  }
   if (!original.ok()) {
     std::fprintf(stderr, "failed to read %s: %s\n", args.original.c_str(),
                  original.status().ToString().c_str());
@@ -118,8 +153,19 @@ int main(int argc, char** argv) {
   }
   // Read the synthetic data under the original's schema so both tables
   // agree on domains even if the synthetic file lacks extreme values.
-  auto synthetic = data::ReadCsvWithSchema(args.synthetic,
-                                           original->schema());
+  Result<data::Table> synthetic(data::Table{data::Schema()});
+  if (tolerant) {
+    auto read = data::ReadCsvTolerantWithSchema(
+        args.synthetic, original->schema(), read_options);
+    if (read.ok()) {
+      report_quarantine(args.synthetic.c_str(), read->stats);
+      synthetic = std::move(read->table);
+    } else {
+      synthetic = read.status();
+    }
+  } else {
+    synthetic = data::ReadCsvWithSchema(args.synthetic, original->schema());
+  }
   if (!synthetic.ok()) {
     std::fprintf(stderr, "failed to read %s: %s\n", args.synthetic.c_str(),
                  synthetic.status().ToString().c_str());
