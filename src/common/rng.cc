@@ -17,6 +17,42 @@ std::uint64_t Rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
+// 128-layer ziggurat for the standard normal (Marsaglia & Tsang, with
+// Doornik's layout): kZigX[i] is the right edge of layer i (decreasing,
+// kZigX[0] is the virtual base-layer width V/f(R), kZigX[1] = R,
+// kZigX[128] = 0), kZigRatio[i] = kZigX[i+1]/kZigX[i] is the always-accept
+// threshold for the uniform, and kZigF[i] = exp(-x_i^2/2) feeds the wedge
+// test. Tables are built once at first use from the two published
+// constants; everything else is derived, so there is no 400-line constant
+// blob to transcribe wrong.
+constexpr int kZigLayers = 128;
+constexpr double kZigR = 3.442619855899;       // x_1: start of the tail.
+constexpr double kZigV = 9.91256303526217e-3;  // per-layer area.
+
+struct ZigguratTables {
+  double x[kZigLayers + 1];
+  double ratio[kZigLayers];
+  double f[kZigLayers + 1];
+
+  ZigguratTables() {
+    x[0] = kZigV / std::exp(-0.5 * kZigR * kZigR);
+    x[1] = kZigR;
+    x[kZigLayers] = 0.0;
+    for (int i = 2; i < kZigLayers; ++i) {
+      x[i] = std::sqrt(
+          -2.0 * std::log(kZigV / x[i - 1] +
+                          std::exp(-0.5 * x[i - 1] * x[i - 1])));
+    }
+    for (int i = 0; i < kZigLayers; ++i) ratio[i] = x[i + 1] / x[i];
+    for (int i = 0; i <= kZigLayers; ++i) f[i] = std::exp(-0.5 * x[i] * x[i]);
+  }
+};
+
+const ZigguratTables& ZigTables() {
+  static const ZigguratTables tables;
+  return tables;
+}
+
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -61,6 +97,41 @@ std::int64_t Rng::NextInt64InRange(std::int64_t lo, std::int64_t hi) {
 }
 
 double Rng::NextGaussian() {
+  return gaussian_method_ == GaussianMethod::kPolar ? NextGaussianPolar()
+                                                    : NextGaussianZiggurat();
+}
+
+double Rng::NextGaussianZiggurat() {
+  const ZigguratTables& t = ZigTables();
+  for (;;) {
+    // One draw serves both: low 7 bits pick the layer, the top 53 bits make
+    // a signed uniform in (-1, 1). The bit ranges are disjoint, so layer
+    // and position are independent.
+    const std::uint64_t bits = NextUint64();
+    const int i = static_cast<int>(bits & (kZigLayers - 1));
+    const double u =
+        2.0 * (static_cast<double>(bits >> 11) * 0x1.0p-53) - 1.0;
+    if (std::fabs(u) < t.ratio[i]) return u * t.x[i];  // ~98.6% of draws.
+    if (i == 0) {
+      // Base layer overflow: sample the tail |z| > R (Marsaglia 1964).
+      double xx, yy;
+      do {
+        xx = -std::log(NextDoubleOpen()) / kZigR;
+        yy = -std::log(NextDoubleOpen());
+      } while (2.0 * yy < xx * xx);
+      return (u < 0.0) ? -(kZigR + xx) : kZigR + xx;
+    }
+    // Wedge between the inscribed and circumscribed rectangles: accept
+    // with probability (f(z) - f(x_i)) / (f(x_{i+1}) - f(x_i)).
+    const double z = u * t.x[i];
+    if (t.f[i] + NextDouble() * (t.f[i + 1] - t.f[i]) <
+        std::exp(-0.5 * z * z)) {
+      return z;
+    }
+  }
+}
+
+double Rng::NextGaussianPolar() {
   if (has_cached_gaussian_) {
     has_cached_gaussian_ = false;
     return cached_gaussian_;
@@ -77,6 +148,18 @@ double Rng::NextGaussian() {
   return u * factor;
 }
 
-Rng Rng::Split() { return Rng(NextUint64() ^ 0xd1b54a32d192ed03ULL); }
+void Rng::FillGaussian(double* dst, std::size_t n) {
+  if (gaussian_method_ == GaussianMethod::kPolar) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = NextGaussianPolar();
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = NextGaussianZiggurat();
+  }
+}
+
+Rng Rng::Split() {
+  Rng child(NextUint64() ^ 0xd1b54a32d192ed03ULL);
+  child.gaussian_method_ = gaussian_method_;
+  return child;
+}
 
 }  // namespace dpcopula

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/parallel.h"
@@ -18,8 +19,21 @@ namespace dpcopula::copula {
 
 std::int64_t AdequateKendallSampleSize(std::size_t m, double epsilon2) {
   const double md = static_cast<double>(m);
-  return static_cast<std::int64_t>(
-      std::ceil(50.0 * md * (md - 1.0) / epsilon2));
+  // Paper §4.2: the sample is adequate once n̂ > 50·m(m−1)/ε₂ − 1, so the
+  // smallest adequate size is the smallest integer strictly greater than
+  // that bound.
+  const double bound = 50.0 * md * (md - 1.0) / epsilon2 - 1.0;
+  // Tiny ε₂ pushes the bound past what int64 can hold (casting an
+  // out-of-range double is UB); saturate instead — callers min() against
+  // the actual row count anyway.
+  constexpr double kInt64Safe = 9.2e18;
+  if (!(bound < kInt64Safe)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  const double ceiled = std::ceil(bound);
+  // ceil() of an integral bound returns the bound itself, which does not
+  // satisfy the strict inequality.
+  return static_cast<std::int64_t>(ceiled) + (ceiled == bound ? 1 : 0);
 }
 
 Result<KendallEstimate> EstimateKendallCorrelation(

@@ -17,6 +17,21 @@ namespace dpcopula::copula {
 /// bit-identical for any `num_threads`.
 inline constexpr std::size_t kSamplerShardRows = 4096;
 
+/// Rows per tile of the blocked sampling kernel. A tile's working set is
+/// 2 * m * kSamplerTileRows doubles (the Gaussian block and the correlated
+/// block), ~40 KB at m = 10 — sized to stay cache-resident while keeping
+/// the per-tile loop overhead negligible. Divides kSamplerShardRows so only
+/// the final shard ever sees a partial tile.
+inline constexpr std::size_t kSamplerTileRows = 256;
+
+/// Which row-sampling kernel to run. kTiled is the production path: a
+/// ziggurat-filled kSamplerTileRows x m Gaussian block, the Cholesky factor
+/// applied as a blocked lower-triangular mat-mul over contiguous columns,
+/// and guide-table CDF inversion (InverseCdfTable). kLegacy is the pre-tile
+/// scalar loop (per-row triangular multiply + per-cell std::lower_bound),
+/// kept for golden fixtures and old-vs-new equivalence tests.
+enum class SamplerKernel { kTiled, kLegacy };
+
 /// Algorithm 3 — sampling DP synthetic data:
 ///  1a. draw z ~ N(0, correlation) (Cholesky of the DP correlation matrix);
 ///  1b. map to the unit cube via the standard normal CDF, t = Phi(z);
@@ -35,7 +50,7 @@ Result<data::Table> SampleSyntheticData(
     const data::Schema& schema,
     const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
     const linalg::Matrix& correlation, std::size_t num_rows, Rng* rng,
-    int num_threads = 1);
+    int num_threads = 1, SamplerKernel kernel = SamplerKernel::kTiled);
 
 /// t-copula variant of Algorithm 3 (the paper's future-work extension):
 /// draws x ~ t_dof(0, correlation), maps through the univariate t CDF, then
@@ -46,7 +61,7 @@ Result<data::Table> SampleSyntheticDataT(
     const data::Schema& schema,
     const std::vector<stats::EmpiricalCdf>& marginal_cdfs,
     const linalg::Matrix& correlation, double dof, std::size_t num_rows,
-    Rng* rng, int num_threads = 1);
+    Rng* rng, int num_threads = 1, SamplerKernel kernel = SamplerKernel::kTiled);
 
 }  // namespace dpcopula::copula
 

@@ -176,10 +176,16 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
     data::Table out = data::Table::Zeros(table.schema(), out_rows);
     {
       obs::Span sampling_span("sampling");
+      // Guide-table inversion, built once per marginal — same tables the
+      // Gaussian/t tile kernels use.
+      std::vector<stats::InverseCdfTable> inverse_tables;
+      inverse_tables.reserve(m);
+      for (const auto& cdf : cdfs) inverse_tables.emplace_back(cdf);
       for (std::size_t r = 0; r < out_rows; ++r) {
         const auto u = ecop.SampleUniforms(rng);
         for (std::size_t j = 0; j < m; ++j) {
-          out.set(r, j, static_cast<double>(cdfs[j].InverseCdf(u[j])));
+          out.set(r, j,
+                  static_cast<double>(inverse_tables[j].Lookup(u[j])));
         }
       }
     }

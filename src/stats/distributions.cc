@@ -229,9 +229,19 @@ double StudentTInverseCdf(double p, double dof) {
   double x = 0.5 * (lo + hi);
   for (int i = 0; i < 3; ++i) {
     const double f = StudentTCdf(x, dof) - p;
+    // Keep the bisection bracket current so a wild step can be caught.
+    if (f < 0.0) {
+      lo = x;
+    } else {
+      hi = x;
+    }
     const double d = StudentTPdf(x, dof);
     if (d <= 0.0) break;
-    x -= f / d;
+    const double next = x - f / d;
+    // For small dof and p near 1 the density is nearly flat, and an
+    // unclamped Newton step can fly out of the bracket and land on a worse
+    // root than bisection alone; fall back to the bracket midpoint.
+    x = (next > lo && next < hi) ? next : 0.5 * (lo + hi);
   }
   return x;
 }

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/normal.h"
+
 namespace dpcopula::stats {
+
+namespace {
+
+/// Last bin with positive mass: the first index whose cumulative count has
+/// already reached the grand total (every later bin adds zero).
+std::int64_t LastPositiveBin(const std::vector<double>& cumulative,
+                             double total) {
+  const auto it =
+      std::lower_bound(cumulative.begin(), cumulative.end(), total);
+  if (it == cumulative.end()) {
+    return static_cast<std::int64_t>(cumulative.size()) - 1;
+  }
+  return static_cast<std::int64_t>(it - cumulative.begin());
+}
+
+}  // namespace
 
 Result<EmpiricalCdf> EmpiricalCdf::FromCounts(
     const std::vector<double>& counts) {
@@ -26,6 +44,7 @@ Result<EmpiricalCdf> EmpiricalCdf::FromCounts(
     }
     cdf.total_ = static_cast<double>(counts.size());
   }
+  cdf.max_bin_ = LastPositiveBin(cdf.cumulative_, cdf.total_);
   return cdf;
 }
 
@@ -69,8 +88,85 @@ std::int64_t EmpiricalCdf::InverseCdf(double u) const {
   // First index with cumulative >= target.
   const auto it =
       std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
-  if (it == cumulative_.end()) return domain_size() - 1;
+  // Past the attainable maximum (u > total/(total+1)): the answer is the
+  // last bin with positive mass, not the raw domain end — a zero-count
+  // (clamped-negative) tail must never be emitted by the sampler.
+  if (it == cumulative_.end()) return max_bin_;
   return static_cast<std::int64_t>(it - cumulative_.begin());
+}
+
+InverseCdfTable::InverseCdfTable(const EmpiricalCdf& cdf)
+    : cumulative_(cdf.cumulative_),
+      total_(cdf.total_),
+      max_bin_(cdf.max_bin_) {
+  const std::size_t bins = cumulative_.size();
+  const double total_plus_1 = total_ + 1.0;
+
+  // Standard-normal quantiles of the bin edges for the Gaussian shortcut.
+  // Leading zero-mass bins map to -inf, which no finite deviate reaches —
+  // exactly mirroring lower_bound skipping them for any u > 0.
+  zcut_.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    zcut_[i] = NormalInverseCdf(cumulative_[i] / total_plus_1);
+  }
+
+  // Guide tables: ~2 buckets per bin (min 64, capped so a huge domain
+  // cannot blow up the table) makes the expected forward scan O(1). Each
+  // entry is lower_bound of the bucket's left edge, stepped back by one so
+  // edge-rounding in the bucket-index arithmetic can never start the scan
+  // past the true answer.
+  const std::size_t buckets =
+      std::clamp<std::size_t>(2 * bins, 64, 1u << 16);
+  num_buckets_ = static_cast<double>(buckets);
+  guide_u_.resize(buckets);
+  for (std::size_t k = 0; k < buckets; ++k) {
+    const double edge_target =
+        (static_cast<double>(k) / num_buckets_) * total_plus_1;
+    auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), edge_target);
+    std::size_t g = static_cast<std::size_t>(it - cumulative_.begin());
+    if (g > 0) --g;
+    if (g >= bins) g = bins - 1;
+    guide_u_[k] = static_cast<std::uint32_t>(g);
+  }
+
+  // z-space guide over [-8, 8] — beyond that the clamped end buckets still
+  // give a correct (just slightly longer) scan start.
+  z_lo_ = -8.0;
+  z_inv_width_ = num_buckets_ / 16.0;
+  guide_z_.resize(buckets);
+  for (std::size_t k = 0; k < buckets; ++k) {
+    const double edge_z = z_lo_ + static_cast<double>(k) / z_inv_width_;
+    auto it = std::lower_bound(zcut_.begin(), zcut_.end(), edge_z);
+    std::size_t g = static_cast<std::size_t>(it - zcut_.begin());
+    if (g > 0) --g;
+    if (g >= bins) g = bins - 1;
+    guide_z_[k] = static_cast<std::uint32_t>(g);
+  }
+}
+
+std::int64_t InverseCdfTable::Lookup(double u) const {
+  const double uc = std::clamp(u, 0.0, 1.0);
+  const double target = uc * (total_ + 1.0);
+  if (target > total_) return max_bin_;
+  auto k = static_cast<std::size_t>(uc * num_buckets_);
+  if (k >= guide_u_.size()) k = guide_u_.size() - 1;
+  std::size_t i = guide_u_[k];
+  // target <= total_ == cumulative_.back(), so the scan terminates.
+  while (cumulative_[i] < target) ++i;
+  return static_cast<std::int64_t>(i);
+}
+
+std::int64_t InverseCdfTable::LookupGaussian(double z) const {
+  if (!(z <= zcut_.back())) return max_bin_;  // Also catches NaN.
+  double pos = (z - z_lo_) * z_inv_width_;
+  if (pos < 0.0) pos = 0.0;
+  auto k = static_cast<std::size_t>(pos);
+  if (k >= guide_z_.size()) k = guide_z_.size() - 1;
+  std::size_t i = guide_z_[k];
+  // z <= zcut_.back(), so the scan terminates.
+  while (zcut_[i] < z) ++i;
+  return static_cast<std::int64_t>(i);
 }
 
 }  // namespace dpcopula::stats

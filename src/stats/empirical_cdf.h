@@ -45,12 +45,63 @@ class EmpiricalCdf {
   double EvaluateMid(double x) const;
 
   /// Smallest x in the domain with F(x) >= u, for u in [0, 1]. u above the
-  /// attainable maximum returns the largest domain value.
+  /// attainable maximum total/(total+1) returns the largest domain value
+  /// that carries positive mass — NOT domain_size()-1, which may sit in a
+  /// run of zero-count (clamped-negative) tail bins the distribution can
+  /// never legitimately emit.
   std::int64_t InverseCdf(double u) const;
 
+  /// Largest domain value with positive mass (== domain_size()-1 unless the
+  /// histogram has a zero tail).
+  std::int64_t max_value() const { return max_bin_; }
+
  private:
+  friend class InverseCdfTable;
+
   std::vector<double> cumulative_;  // cumulative_[i] = sum counts[0..i]
   double total_ = 0.0;
+  std::int64_t max_bin_ = 0;  // Last bin with positive mass.
+};
+
+/// Precomputed inversion table for one marginal, built once per
+/// EmpiricalCdf and shared by every sampling hot path (the Gaussian/t tile
+/// kernels of Algorithm 3 and the empirical-copula uniform path). Replaces
+/// the per-cell O(log A) `std::lower_bound` with O(1) expected work:
+///
+///  - `Lookup(u)`: a flat guide table over u-quantized buckets maps any u
+///    straight to a first-candidate bin, from which a short forward scan
+///    (expected O(1) steps when buckets >= bins) finds the answer. Agrees
+///    with EmpiricalCdf::InverseCdf bit-for-bit on every input.
+///  - `LookupGaussian(z)`: the Gaussian-copula shortcut. Bin edges are
+///    precomputed as standard-normal quantiles zcut[i] = Phi^{-1}(F(i)),
+///    so inverting a correlated normal deviate needs no per-cell erfc at
+///    all — just a guided scan over zcut. Equivalent to
+///    Lookup(NormalCdf(z)) up to the rounding of the precomputed edges.
+class InverseCdfTable {
+ public:
+  explicit InverseCdfTable(const EmpiricalCdf& cdf);
+
+  /// Same contract (and same answers) as EmpiricalCdf::InverseCdf(u).
+  std::int64_t Lookup(double u) const;
+
+  /// Smallest x with Phi^{-1}(F(x)) >= z; u above the attainable maximum
+  /// returns the last positive-mass bin, mirroring Lookup.
+  std::int64_t LookupGaussian(double z) const;
+
+  std::int64_t domain_size() const {
+    return static_cast<std::int64_t>(cumulative_.size());
+  }
+
+ private:
+  std::vector<double> cumulative_;   // Copy of the CDF's cumulative counts.
+  std::vector<double> zcut_;         // Phi^{-1}(cumulative / (total + 1)).
+  std::vector<std::uint32_t> guide_u_;  // u-bucket -> first candidate bin.
+  std::vector<std::uint32_t> guide_z_;  // z-bucket -> first candidate bin.
+  double total_ = 0.0;
+  double num_buckets_ = 0.0;  // As double: bucket index is one multiply.
+  double z_lo_ = 0.0;         // Left edge of the z-bucket grid.
+  double z_inv_width_ = 0.0;  // Buckets per unit z.
+  std::int64_t max_bin_ = 0;
 };
 
 }  // namespace dpcopula::stats

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "copula/gaussian_copula.h"
@@ -134,9 +135,24 @@ TEST(NormalScoresCorrelationTest, ValidatesInput) {
 }
 
 TEST(KendallEstimatorTest, AdequateSampleSizeFormula) {
-  // ceil(50 * m(m-1) / eps2).
+  // Paper §4.2: smallest integer n̂ with n̂ > 50·m(m-1)/ε₂ − 1. For an
+  // integral 50·m(m-1)/ε₂ = X the answer is X itself (X > X − 1 holds).
   EXPECT_EQ(AdequateKendallSampleSize(2, 1.0), 100);
   EXPECT_EQ(AdequateKendallSampleSize(8, 0.5), 5600);
+  // Non-integral X = 300/0.7 ≈ 428.57: the bound is 427.57, so 428 is
+  // already adequate — the pre-fix code (which dropped the "−1") demanded
+  // 429.
+  EXPECT_EQ(AdequateKendallSampleSize(3, 0.7), 428);
+  // X = 100/3: bound ≈ 32.33, smallest adequate integer is 33.
+  EXPECT_EQ(AdequateKendallSampleSize(2, 3.0), 33);
+}
+
+TEST(KendallEstimatorTest, AdequateSampleSizeSaturatesForTinyEpsilon) {
+  // 50·m(m-1)/ε₂ overflows int64 for tiny ε₂; the result must saturate,
+  // not wrap (callers min() it against the real row count).
+  EXPECT_EQ(AdequateKendallSampleSize(100, 1e-300),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_GT(AdequateKendallSampleSize(2, 1e-12), 0);
 }
 
 TEST(KendallEstimatorTest, HighBudgetRecoversCorrelation) {

@@ -253,6 +253,82 @@ TEST(EmpiricalCdfTest, InverseCdfRoundTrip) {
   EXPECT_EQ(cdf->InverseCdf(1.0), 4);
 }
 
+TEST(EmpiricalCdfTest, ZeroTailNeverEmitted) {
+  // Regression: clamped-negative noise leaves the last bins with zero mass.
+  // Any u past the attainable maximum total/(total+1) must map to the last
+  // positive-mass bin (2), never the raw domain end (4).
+  auto cdf = EmpiricalCdf::FromCounts({5, 3, 2, 0, 0});
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_EQ(cdf->max_value(), 2);
+  EXPECT_EQ(cdf->InverseCdf(1.0), 2);
+  EXPECT_EQ(cdf->InverseCdf(0.995), 2);  // 10/11 < u < 1.
+  EXPECT_EQ(cdf->InverseCdf(10.0 / 11.0), 2);
+  // Interior quantiles are untouched by the fix.
+  EXPECT_EQ(cdf->InverseCdf(0.3), 0);
+  EXPECT_EQ(cdf->InverseCdf(0.6), 1);
+  // A positive-mass final bin still reaches the domain end.
+  auto full = EmpiricalCdf::FromCounts({5, 3, 2});
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->InverseCdf(1.0), 2);
+}
+
+TEST(InverseCdfTableTest, MatchesLowerBoundOnRandomHistograms) {
+  Rng rng(20240806);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto bins =
+        static_cast<std::size_t>(rng.NextInt64InRange(1, 400));
+    std::vector<double> counts(bins);
+    for (double& c : counts) {
+      // Mix of zero runs, negatives (clamped), and heavy bins.
+      const double roll = rng.NextDouble();
+      c = roll < 0.3 ? 0.0
+                     : (roll < 0.4 ? -5.0 * rng.NextDouble()
+                                   : 100.0 * rng.NextDouble());
+    }
+    auto cdf = EmpiricalCdf::FromCounts(counts);
+    ASSERT_TRUE(cdf.ok());
+    const InverseCdfTable table(*cdf);
+    for (int q = 0; q < 500; ++q) {
+      const double u = rng.NextDouble();
+      ASSERT_EQ(table.Lookup(u), cdf->InverseCdf(u))
+          << "trial " << trial << " u=" << u;
+    }
+    for (const double u : {0.0, 1.0, 1e-18, 1.0 - 1e-16, 0.5}) {
+      ASSERT_EQ(table.Lookup(u), cdf->InverseCdf(u)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(InverseCdfTableTest, HandlesAllZeroAndSingleBin) {
+  auto zero = EmpiricalCdf::FromCounts({0.0, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(zero.ok());
+  const InverseCdfTable zero_table(*zero);
+  for (const double u : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(zero_table.Lookup(u), zero->InverseCdf(u)) << "u=" << u;
+  }
+  auto single = EmpiricalCdf::FromCounts({7.0});
+  ASSERT_TRUE(single.ok());
+  const InverseCdfTable single_table(*single);
+  for (const double u : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(single_table.Lookup(u), 0);
+    EXPECT_EQ(single_table.LookupGaussian(NormalInverseCdf(u)), 0);
+  }
+}
+
+TEST(InverseCdfTableTest, GaussianLookupMatchesCdfComposition) {
+  // LookupGaussian(z) must agree with Lookup(Phi(z)) away from bin-edge
+  // rounding; sweeping a fine grid of z, any disagreement means the
+  // precomputed quantile edges are wrong (off-by-one everywhere), not mere
+  // floating-point edge jitter, so demand exact equality.
+  auto cdf = EmpiricalCdf::FromCounts({10, 0, 5, 0, 20, 1, 0, 0});
+  ASSERT_TRUE(cdf.ok());
+  const InverseCdfTable table(*cdf);
+  for (double z = -9.0; z <= 9.0; z += 0.003) {
+    ASSERT_EQ(table.LookupGaussian(z), table.Lookup(NormalCdf(z)))
+        << "z=" << z;
+  }
+}
+
 class EmpiricalCdfSamplingTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(EmpiricalCdfSamplingTest, InverseSamplingRecoversDistribution) {

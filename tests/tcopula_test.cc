@@ -49,6 +49,42 @@ TEST(StudentTInverseTest, KnownQuantiles) {
   EXPECT_TRUE(std::isinf(stats::StudentTInverseCdf(1.0, 5.0)));
 }
 
+TEST(StudentTInverseTest, SmallDofExtremePStaysInBisectionBracket) {
+  // Regression: for small dof and p near 1 the density is nearly flat, and
+  // an unclamped Newton polish step could fly out of the bisection bracket
+  // and return a point whose CDF is *farther* from p than the plain
+  // bisection answer. The clamped polish must always end at least as close.
+  for (const double dof : {0.3, 0.5, 1.0, 2.0}) {
+    for (const double p : {0.999, 0.9999, 0.999999, 1.0 - 1e-9}) {
+      const double x = stats::StudentTInverseCdf(p, dof);
+      ASSERT_TRUE(std::isfinite(x)) << "dof=" << dof << " p=" << p;
+
+      // Reproduce the bisection-only bracket the polish started from.
+      double lo = 0.0, hi = 1.0;
+      while (stats::StudentTCdf(hi, dof) < p && hi < 1e300) hi *= 2.0;
+      for (int i = 0; i < 200 && hi - lo > 1e-14 * (1.0 + hi); ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (stats::StudentTCdf(mid, dof) < p) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      const double bisect = 0.5 * (lo + hi);
+      const double err_polished = std::fabs(stats::StudentTCdf(x, dof) - p);
+      const double err_bisect = std::fabs(stats::StudentTCdf(bisect, dof) - p);
+      // Allow CDF-evaluation noise (~1e-15) but nothing like the orders-of-
+      // magnitude escape the unclamped step produced.
+      EXPECT_LE(err_polished, 2.0 * err_bisect + 1e-13)
+          << "dof=" << dof << " p=" << p << " x=" << x
+          << " bisect=" << bisect;
+      // And the result must respect the monotone bracket.
+      EXPECT_GE(x, lo);
+      EXPECT_LE(x, hi);
+    }
+  }
+}
+
 TEST(StudentTPdfTest, IntegratesToCdf) {
   // Numeric check: pdf is the derivative of the CDF.
   const double dof = 5.0;
