@@ -191,6 +191,7 @@ std::vector<std::string> KnownSites() {
       "csv.read.open",               // data/csv.cc
       "csv.read.row",                // data/csv.cc
       "hybrid.partition.synthesize", // core/hybrid.cc
+      "kendall.pair_tau",            // copula/kendall_estimator.cc
       "linalg.cholesky",             // linalg/cholesky.cc
       "linalg.eigen.converge",       // linalg/eigen_sym.cc
       "linalg.psd_repair",           // linalg/psd_repair.cc

@@ -1,11 +1,14 @@
 #include "copula/kendall_estimator.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <mutex>
 #include <numeric>
+#include <vector>
 
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "linalg/cholesky.h"
 #include "linalg/psd_repair.h"
@@ -36,11 +39,40 @@ std::int64_t AdequateKendallSampleSize(std::size_t m, double epsilon2) {
   return static_cast<std::int64_t>(ceiled) + (ceiled == bound ? 1 : 0);
 }
 
+namespace {
+
+/// First failure across a deterministic index space: the recorded status is
+/// the one with the lowest index, independent of which thread saw it first
+/// (and therefore independent of the thread count).
+class FirstFailure {
+ public:
+  void Record(std::size_t index, Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < index_) {
+      index_ = index;
+      status_ = std::move(status);
+    }
+  }
+  bool failed() const { return index_ != kNone; }
+  const Status& status() const { return status_; }
+
+ private:
+  static constexpr std::size_t kNone =
+      std::numeric_limits<std::size_t>::max();
+  std::mutex mu_;
+  std::size_t index_ = kNone;
+  Status status_ = Status::OK();
+};
+
+}  // namespace
+
 Result<KendallEstimate> EstimateKendallCorrelation(
     const data::Table& table, double epsilon2, Rng* rng,
     const KendallEstimatorOptions& options) {
   static obs::Counter* const pairs_counter =
       obs::MetricsRegistry::Global().GetCounter("kendall.pairs_computed");
+  static obs::Counter* const contingency_counter =
+      obs::MetricsRegistry::Global().GetCounter("kendall.contingency_pairs");
   static obs::Counter* const subsampled_runs =
       obs::MetricsRegistry::Global().GetCounter("kendall.subsampled_runs");
   static obs::Counter* const repairs_counter =
@@ -78,10 +110,12 @@ Result<KendallEstimate> EstimateKendallCorrelation(
       .Field("epsilon2", epsilon2);
 
   // Columns restricted to the subsample (a single shared subsample keeps
-  // the pairwise estimates mutually consistent).
-  std::vector<std::vector<double>> cols(m);
+  // the pairwise estimates mutually consistent). At full size the table's
+  // columns are referenced in place — no copy.
+  std::vector<std::vector<double>> subsample_storage;
+  std::vector<const std::vector<double>*> cols(m);
   if (n_used == n) {
-    for (std::size_t j = 0; j < m; ++j) cols[j] = table.column(j);
+    for (std::size_t j = 0; j < m; ++j) cols[j] = &table.column(j);
   } else {
     // Partial Fisher–Yates to draw n_used distinct row indices.
     std::vector<std::size_t> idx(static_cast<std::size_t>(n));
@@ -91,13 +125,40 @@ Result<KendallEstimate> EstimateKendallCorrelation(
           rng->NextInt64InRange(i, n - 1));
       std::swap(idx[static_cast<std::size_t>(i)], idx[j]);
     }
+    subsample_storage.resize(m);
     for (std::size_t j = 0; j < m; ++j) {
-      cols[j].resize(static_cast<std::size_t>(n_used));
+      subsample_storage[j].resize(static_cast<std::size_t>(n_used));
       for (std::int64_t i = 0; i < n_used; ++i) {
-        cols[j][static_cast<std::size_t>(i)] =
+        subsample_storage[j][static_cast<std::size_t>(i)] =
             table.column(j)[idx[static_cast<std::size_t>(i)]];
       }
+      cols[j] = &subsample_storage[j];
     }
+  }
+
+  // Shared per-column rank caches (production kernel): one O(n log n) sort
+  // per column, reused by all m-1 pairs touching it — O(m n log n) total
+  // against the legacy kernel's sort-per-pair O(m^2 n log n). Columns are
+  // independent, so the builds run on the pool.
+  std::vector<stats::RankColumn> ranks;
+  if (options.kernel == stats::TauKernel::kRankCache) {
+    obs::Span rank_span("kendall.rank_build");
+    ranks.resize(m);
+    FirstFailure rank_failure;
+    ParallelFor(
+        0, m, /*grain=*/1,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t j = begin; j < end; ++j) {
+            auto built = stats::BuildRankColumn(*cols[j]);
+            if (!built.ok()) {
+              rank_failure.Record(j, built.status());
+              continue;
+            }
+            ranks[j] = std::move(built).ValueOrDie();
+          }
+        },
+        options.num_threads);
+    if (rank_failure.failed()) return rank_failure.status();
   }
 
   // Lemma 4.1: sensitivity of one pairwise tau is 4 / (n_used + 1); each of
@@ -121,18 +182,41 @@ Result<KendallEstimate> EstimateKendallCorrelation(
   }
 
   // One pair per shard on the shared pool: each pair already owns its split
-  // RNG, so the result is bit-identical for any thread count.
+  // RNG, so the result is bit-identical for any thread count. On failure
+  // every pair still runs (no early exit) so the propagated status — the
+  // lowest-index pair's — is the same at every thread count.
   std::vector<double> rhos(pairs.size(), 0.0);
-  std::atomic<bool> failed{false};
+  std::int64_t contingency_pairs = 0;
+  if (options.kernel == stats::TauKernel::kRankCache) {
+    for (const Pair& pair : pairs) {
+      if (stats::UseContingencyKernel(
+              static_cast<std::uint64_t>(n_used),
+              ranks[pair.j].num_distinct, ranks[pair.k].num_distinct)) {
+        ++contingency_pairs;
+      }
+    }
+  }
+  FirstFailure pair_failure;
   ParallelFor(
       0, pairs.size(), /*grain=*/1,
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end && !failed.load(); ++i) {
+        // Per-thread reusable workspace: grows to the high-water mark on
+        // the first pair this worker sees, then every later pair (in this
+        // call and any future estimate) runs allocation-free.
+        static thread_local stats::TauWorkspace workspace;
+        for (std::size_t i = begin; i < end; ++i) {
           Pair& pair = pairs[i];
-          auto tau = stats::KendallTau(cols[pair.j], cols[pair.k]);
+          Result<double> tau =
+              DPC_FAILPOINT_AT("kendall.pair_tau", i)
+                  ? Result<double>(
+                        failpoint::InjectedFault("kendall.pair_tau"))
+                  : (options.kernel == stats::TauKernel::kRankCache
+                         ? stats::KendallTauFromRanks(
+                               ranks[pair.j], ranks[pair.k], &workspace)
+                         : stats::KendallTau(*cols[pair.j], *cols[pair.k]));
           if (!tau.ok()) {
-            failed.store(true);
-            return;
+            pair_failure.Record(i, tau.status());
+            continue;
           }
           double noisy_tau = *tau + stats::SampleLaplace(&pair.rng, scale);
           // Clamping into the valid tau range is post-processing and costs
@@ -142,10 +226,9 @@ Result<KendallEstimate> EstimateKendallCorrelation(
         }
       },
       options.num_threads);
-  if (failed.load()) {
-    return Status::Internal("pairwise Kendall computation failed");
-  }
+  if (pair_failure.failed()) return pair_failure.status();
   pairs_counter->Add(static_cast<std::int64_t>(pairs.size()));
+  contingency_counter->Add(contingency_pairs);
 
   linalg::Matrix p(m, m);
   for (std::size_t j = 0; j < m; ++j) p(j, j) = 1.0;
@@ -158,6 +241,7 @@ Result<KendallEstimate> EstimateKendallCorrelation(
   est.rows_used = n_used;
   est.per_pair_epsilon = epsilon2 / num_pairs;
   est.laplace_scale = scale;
+  est.contingency_pairs = contingency_pairs;
   est.repaired = !linalg::IsPositiveDefinite(p);
   {
     obs::Span repair_span("psd_repair");

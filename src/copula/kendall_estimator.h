@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "data/table.h"
 #include "linalg/matrix.h"
+#include "stats/kendall.h"
 
 namespace dpcopula::copula {
 
@@ -21,12 +22,20 @@ struct KendallEstimatorOptions {
   /// Overrides the automatic n_hat when > 0 (must still be <= n).
   std::int64_t subsample_size_override = 0;
 
-  /// Worker threads (shared ThreadPool) for the C(m,2) pairwise tau
-  /// computations — the dominant cost at high m. Each pair derives its own
-  /// RNG stream from the caller's generator by pair index, so results are
-  /// bit-identical regardless of thread count. 0 = hardware concurrency,
-  /// <= 1 = sequential.
+  /// Worker threads (shared ThreadPool) for the rank-cache builds and the
+  /// C(m,2) pairwise tau computations — the dominant cost at high m. Each
+  /// pair derives its own RNG stream from the caller's generator by pair
+  /// index, so results are bit-identical regardless of thread count. 0 =
+  /// hardware concurrency, <= 1 = sequential.
   int num_threads = 1;
+
+  /// Which pairwise tau kernel to run. kRankCache (production) builds one
+  /// rank structure per column — O(m n log n) total — and serves every
+  /// pair from the shared caches; kLegacy re-sorts per pair (O(m^2
+  /// n log n)) and is kept for old-vs-new equivalence tests. Both produce
+  /// bit-identical noisy output (the exact taus and the per-pair noise
+  /// streams agree).
+  stats::TauKernel kernel = stats::TauKernel::kRankCache;
 };
 
 /// Diagnostics reported alongside the private correlation matrix.
@@ -36,6 +45,9 @@ struct KendallEstimate {
   double per_pair_epsilon = 0.0;  // epsilon2 / C(m,2).
   double laplace_scale = 0.0;     // Noise scale applied to each tau.
   bool repaired = false;          // True if eigenvalue PSD repair fired.
+  /// Pairs served by the contingency-table kernel (the rest took the
+  /// merge-count path). Always 0 under TauKernel::kLegacy.
+  std::int64_t contingency_pairs = 0;
 };
 
 /// Computes the differentially private correlation matrix of Algorithm 5:

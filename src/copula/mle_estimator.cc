@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/failpoint.h"
 #include "common/parallel.h"
@@ -19,7 +20,16 @@ namespace dpcopula::copula {
 std::int64_t PaperMlePartitionCount(std::size_t m, double epsilon2) {
   const double md = static_cast<double>(m);
   const double pairs = md * (md - 1.0) / 2.0;
-  return static_cast<std::int64_t>(std::ceil(pairs / (0.025 * epsilon2)));
+  const double count = std::ceil(pairs / (0.025 * epsilon2));
+  // Tiny ε₂ / large m push the count past what int64 can hold (casting an
+  // out-of-range double is UB); saturate exactly as
+  // AdequateKendallSampleSize does — callers clamp against the actual row
+  // count anyway.
+  constexpr double kInt64Safe = 9.2e18;
+  if (!(count < kInt64Safe)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return static_cast<std::int64_t>(count);
 }
 
 Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
@@ -61,6 +71,19 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
         "MLE estimator: fewer than 2 rows per partition (n=" +
         std::to_string(n) + ", l=" + std::to_string(l) + ")");
   }
+  // The trailing n mod l rows belong to no partition and never influence
+  // the estimate (see DESIGN.md §9). That is a deliberate simplification —
+  // the paper assumes l | n — but it must not be silent.
+  static obs::Counter* const rows_dropped_counter =
+      obs::MetricsRegistry::Global().GetCounter("mle.rows_dropped");
+  const std::int64_t rows_dropped = n - b * l;
+  if (rows_dropped > 0) {
+    rows_dropped_counter->Add(rows_dropped);
+    obs::Log(obs::LogLevel::kWarn, "mle.rows_dropped")
+        .Field("dropped", rows_dropped)
+        .Field("rows", n)
+        .Field("partitions", l);
+  }
 
   partitions_counter->Add(l);
   rows_per_partition_gauge->Set(static_cast<double>(b));
@@ -68,6 +91,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
       .Field("columns", m)
       .Field("partitions", l)
       .Field("rows_per_partition", b)
+      .Field("rows_dropped", rows_dropped)
       .Field("epsilon2", epsilon2);
 
   // Fit the l disjoint partitions concurrently (the fits are RNG-free and
@@ -168,6 +192,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   MleEstimate est;
   est.num_partitions = l;
   est.rows_per_partition = b;
+  est.rows_dropped = rows_dropped;
   est.failed_partitions = failed;
   est.laplace_scale = scale;
   est.repaired = !linalg::IsPositiveDefinite(p);

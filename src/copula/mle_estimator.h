@@ -44,6 +44,9 @@ struct MleEstimate {
   linalg::Matrix correlation;     // The DP correlation matrix P~ (valid).
   std::int64_t num_partitions = 0;
   std::int64_t rows_per_partition = 0;
+  /// Trailing n mod l rows that belong to no partition and did not
+  /// influence the estimate (also logged and counted as mle.rows_dropped).
+  std::int64_t rows_dropped = 0;
   /// Partition fits that failed and were excluded from the average (always
   /// <= options.max_failed_partitions on a returned estimate).
   std::int64_t failed_partitions = 0;

@@ -205,6 +205,46 @@ TEST(MleEstimatorTest, PartitionCountFormula) {
   EXPECT_EQ(PaperMlePartitionCount(8, 0.5), 2240);
 }
 
+TEST(MleEstimatorTest, PartitionCountSaturatesForTinyEpsilon) {
+  // C(m,2) / (0.025 ε₂) overflows int64 for tiny ε₂; the result must
+  // saturate, not invoke UB via an out-of-range double→int64 cast
+  // (the caller clamps against the real row count anyway).
+  EXPECT_EQ(PaperMlePartitionCount(2, 1e-300),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(PaperMlePartitionCount(10000, 1e-12),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_GT(PaperMlePartitionCount(2, 1e-3), 0);
+}
+
+TEST(MleEstimatorTest, TinyEpsilonAutoPartitionsStillFit) {
+  // End-to-end at ε₂ = 1e-300: the saturated partition count must clamp
+  // down to something that still fits the data instead of overflowing.
+  Rng rng(131);
+  data::Table t = CorrelatedTable(400, 0.5, &rng);
+  auto est = EstimateMleCorrelation(t, 1e-300, &rng);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GE(est->rows_per_partition, 10);
+  EXPECT_TRUE(linalg::IsPositiveDefinite(est->correlation));
+}
+
+TEST(MleEstimatorTest, ReportsDroppedRemainderRows) {
+  Rng rng(137);
+  // 403 rows over 8 partitions: b = 50, 3 trailing rows dropped.
+  data::Table t = CorrelatedTable(403, 0.5, &rng);
+  MleEstimatorOptions opts;
+  opts.num_partitions = 8;
+  auto est = EstimateMleCorrelation(t, 5.0, &rng, opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->rows_per_partition, 50);
+  EXPECT_EQ(est->rows_dropped, 3);
+
+  // Evenly divisible: nothing dropped.
+  data::Table even = CorrelatedTable(400, 0.5, &rng);
+  auto est2 = EstimateMleCorrelation(even, 5.0, &rng, opts);
+  ASSERT_TRUE(est2.ok());
+  EXPECT_EQ(est2->rows_dropped, 0);
+}
+
 TEST(MleEstimatorTest, HighBudgetRecoversCorrelation) {
   Rng rng(109);
   data::Table t = CorrelatedTable(20000, 0.6, &rng);

@@ -16,6 +16,7 @@
 #include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "copula/kendall_estimator.h"
 #include "core/dpcopula.h"
 #include "core/hybrid.h"
 #include "core/model_io.h"
@@ -462,6 +463,41 @@ TEST_F(FaultInjectionTest, HybridDegradedPartitionsAreCountedAndIdentical) {
   ExpectTablesIdentical(outputs[0], outputs[1]);
 }
 
+TEST_F(FaultInjectionTest, KendallPairFaultPropagatesFirstFailure) {
+  Rng data_rng(91);
+  data::Table t = MakeSynthetic(200, 4, 0.3, &data_rng);  // C(4,2) = 6 pairs.
+  // Pairs 0 and 3 fail. The estimator must surface the lowest-index pair's
+  // status — with the fail-point site name, never the old generic
+  // "pairwise Kendall computation failed" — and the propagated status must
+  // be identical at every thread count.
+  ASSERT_TRUE(Registry::Global().Arm("kendall.pair_tau", "1in3").ok());
+  copula::KendallEstimatorOptions options;
+  options.subsample = false;
+  std::string first_message;
+  for (int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    Rng rng(92);
+    auto est = copula::EstimateKendallCorrelation(t, 1.0, &rng, options);
+    ASSERT_FALSE(est.ok()) << "threads=" << threads;
+    EXPECT_NE(est.status().message().find("kendall.pair_tau"),
+              std::string::npos)
+        << est.status().ToString();
+    if (first_message.empty()) {
+      first_message = est.status().message();
+    } else {
+      EXPECT_EQ(est.status().message(), first_message)
+          << "threads=" << threads;
+    }
+  }
+  // The legacy kernel runs the same pair loop and propagates identically.
+  options.kernel = stats::TauKernel::kLegacy;
+  options.num_threads = 1;
+  Rng rng(93);
+  auto est = copula::EstimateKendallCorrelation(t, 1.0, &rng, options);
+  ASSERT_FALSE(est.ok());
+  EXPECT_EQ(est.status().message(), first_message);
+}
+
 TEST_F(FaultInjectionTest, SamplerRowFaultFailsClosed) {
   Rng data_rng(51);
   data::Table t = MakeSynthetic(300, 2, 0.4, &data_rng);
@@ -583,7 +619,8 @@ TEST_F(FaultInjectionTest, SuiteSweepsEveryKnownSite) {
       "atomicio.rename",      "atomicio.write",
       "core.correlation_estimate", "csv.read.open",
       "csv.read.row",         "hybrid.partition.synthesize",
-      "linalg.cholesky",      "linalg.eigen.converge",
+      "kendall.pair_tau",     "linalg.cholesky",
+      "linalg.eigen.converge",
       "linalg.psd_repair",    "mle.partition_fit",
       "model.load.open",      "parallel.dispatch",
       "sampler.row",          "streaming.ingest.merge",

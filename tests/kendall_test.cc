@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "stats/kendall.h"
@@ -59,6 +60,28 @@ TEST(KendallTest, TiesCountAsNeither) {
 TEST(KendallTest, ErrorsOnBadInput) {
   EXPECT_FALSE(KendallTau({1, 2}, {1, 2, 3}).ok());
   EXPECT_FALSE(KendallTau({1}, {1}).ok());
+}
+
+TEST(KendallTest, RejectsNonFiniteInput) {
+  // A NaN in either column would make the (x, y) sort comparator a
+  // non-strict weak order — UB in std::sort — so both paths must fail
+  // closed, with a data-independent message.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> clean = {1, 2, 3, 4};
+  for (const double bad : {nan, inf, -inf}) {
+    const std::vector<double> poisoned = {1, bad, 3, 4};
+    for (auto* fn : {&KendallTau, &KendallTauBruteForce}) {
+      auto xy = (*fn)(poisoned, clean);
+      auto yx = (*fn)(clean, poisoned);
+      ASSERT_FALSE(xy.ok());
+      ASSERT_FALSE(yx.ok());
+      EXPECT_EQ(xy.status().code(), StatusCode::kInvalidArgument);
+      // Same message wherever the bad value sits: no positions, no values.
+      EXPECT_EQ(xy.status().message(), yx.status().message());
+      EXPECT_EQ(xy.status().message().find("nan"), std::string::npos);
+    }
+  }
 }
 
 TEST(KendallTest, GaussianRelationTauToRho) {
