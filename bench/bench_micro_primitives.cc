@@ -62,6 +62,55 @@ void BM_NormalInverseCdf(benchmark::State& state) {
 }
 BENCHMARK(BM_NormalInverseCdf);
 
+// Scalar loop vs the batch entry point (AVX2 when compiled in and the CPU
+// supports it — the two are bit-identical, so this row shows the pure
+// dispatch/vectorization effect). Arg is the batch length.
+void BM_NormalInverseCdfBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  Rng rng(7);
+  std::vector<double> p(n), z(n);
+  for (double& v : p) v = rng.NextDoubleOpen();
+  for (auto _ : state) {
+    if (batched) {
+      dpcopula::stats::NormalInverseCdfBatch(p.data(), z.data(), n);
+    } else {
+      dpcopula::stats::internal::NormalInverseCdfBatchScalar(p.data(),
+                                                             z.data(), n);
+    }
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NormalInverseCdfBatch)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->ArgNames({"n", "simd"});
+
+void BM_NormalCdfBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  Rng rng(7);
+  std::vector<double> x(n), out(n);
+  for (double& v : x) v = 8.0 * (rng.NextDouble() - 0.5);
+  for (auto _ : state) {
+    if (batched) {
+      dpcopula::stats::NormalCdfBatch(x.data(), out.data(), n);
+    } else {
+      dpcopula::stats::internal::NormalCdfBatchScalar(x.data(), out.data(),
+                                                      n);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NormalCdfBatch)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->ArgNames({"n", "simd"});
+
 void BM_Cholesky(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   auto corr = dpcopula::data::Ar1Correlation(m, 0.5);

@@ -1,0 +1,26 @@
+#include "common/cpuinfo.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace dpcopula::common {
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool SimdDisabledByEnv() {
+  const char* value = std::getenv("DPCOPULA_SIMD");
+  if (value == nullptr) return false;
+  std::string v(value);
+  for (char& c : v) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return v == "off" || v == "0" || v == "false";
+}
+
+}  // namespace dpcopula::common

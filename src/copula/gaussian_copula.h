@@ -53,6 +53,18 @@ class GaussianCopula {
 Result<linalg::Matrix> NormalScoresCorrelation(
     const std::vector<std::vector<double>>& scores);
 
+/// The same estimator over raw column pointers — `cols[j]` points at `n`
+/// contiguous scores — blocked over 256-row tiles so all C(m,2)+m pair
+/// accumulations read each tile while it is still cache-hot, instead of
+/// streaming two full columns per pair. Each pair's accumulator is carried
+/// across tiles in row order, so the sequence of floating-point additions
+/// (and therefore the result) is bit-identical to NormalScoresCorrelation
+/// on the same data. Reuses a thread_local workspace: no allocations after
+/// the first call on a thread beyond the returned matrix.
+Result<linalg::Matrix> NormalScoresCorrelationTiled(const double* const* cols,
+                                                    std::size_t m,
+                                                    std::size_t n);
+
 }  // namespace dpcopula::copula
 
 #endif  // DPCOPULA_COPULA_GAUSSIAN_COPULA_H_

@@ -51,6 +51,11 @@ Matrix Matrix::operator+(const Matrix& other) const {
   return out;
 }
 
+void Matrix::AddInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
 Matrix Matrix::operator-(const Matrix& other) const {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix out = *this;

@@ -51,6 +51,9 @@ class Matrix {
   Matrix operator+(const Matrix& other) const;
   Matrix operator-(const Matrix& other) const;
 
+  /// this += other without allocating a temporary; shapes must match.
+  void AddInPlace(const Matrix& other);
+
   /// Scales every entry.
   Matrix Scaled(double s) const;
 

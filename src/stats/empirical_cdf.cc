@@ -61,7 +61,9 @@ Result<EmpiricalCdf> EmpiricalCdf::FromData(const std::vector<double>& values,
     }
     counts[static_cast<std::size_t>(idx)] += 1.0;
   }
-  return FromCounts(counts);
+  DPC_ASSIGN_OR_RETURN(EmpiricalCdf cdf, FromCounts(counts));
+  cdf.fitted_rows_ = values.size();
+  return cdf;
 }
 
 double EmpiricalCdf::Evaluate(double x) const {
@@ -104,11 +106,15 @@ InverseCdfTable::InverseCdfTable(const EmpiricalCdf& cdf)
 
   // Standard-normal quantiles of the bin edges for the Gaussian shortcut.
   // Leading zero-mass bins map to -inf, which no finite deviate reaches —
-  // exactly mirroring lower_bound skipping them for any u > 0.
+  // exactly mirroring lower_bound skipping them for any u > 0. The edges
+  // go through the batched Phi^-1 (AVX2 when available, bit-identical to
+  // the scalar kernel either way) — for census-scale domains this is the
+  // sampler's whole per-marginal setup cost.
   zcut_.resize(bins);
   for (std::size_t i = 0; i < bins; ++i) {
-    zcut_[i] = NormalInverseCdf(cumulative_[i] / total_plus_1);
+    zcut_[i] = cumulative_[i] / total_plus_1;
   }
+  NormalInverseCdfBatch(zcut_.data(), zcut_.data(), bins);
 
   // Guide tables: ~2 buckets per bin (min 64, capped so a huge domain
   // cannot blow up the table) makes the expected forward scan O(1). Each

@@ -55,12 +55,20 @@ class EmpiricalCdf {
   /// histogram has a zero tail).
   std::int64_t max_value() const { return max_bin_; }
 
+  /// Number of raw observations this CDF was fitted from when built via
+  /// FromData; 0 when built from (possibly noisy) counts, where no row
+  /// count exists. Lets consumers that pair a CDF with a data column
+  /// (PseudoObservationsWithCdfs) reject a column whose length no longer
+  /// matches the fit.
+  std::size_t fitted_rows() const { return fitted_rows_; }
+
  private:
   friend class InverseCdfTable;
 
   std::vector<double> cumulative_;  // cumulative_[i] = sum counts[0..i]
   double total_ = 0.0;
   std::int64_t max_bin_ = 0;  // Last bin with positive mass.
+  std::size_t fitted_rows_ = 0;  // Rows behind FromData; 0 for FromCounts.
 };
 
 /// Precomputed inversion table for one marginal, built once per

@@ -3,6 +3,13 @@
 #include <cmath>
 #include <limits>
 
+#include "common/cpuinfo.h"
+#include "stats/normal_acklam.h"
+
+#ifndef DPCOPULA_SIMD_COMPILED
+#define DPCOPULA_SIMD_COMPILED 0
+#endif
+
 namespace dpcopula::stats {
 
 namespace {
@@ -21,19 +28,13 @@ double NormalInverseCdf(double p) {
   if (p == 0.0) return -std::numeric_limits<double>::infinity();
   if (p == 1.0) return std::numeric_limits<double>::infinity();
 
-  // Coefficients for Acklam's rational approximation.
-  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
-                             -2.759285104469687e+02, 1.383577518672690e+02,
-                             -3.066479806614716e+01, 2.506628277459239e+00};
-  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
-                             -1.556989798598866e+02, 6.680131188771972e+01,
-                             -1.328068155288572e+01};
-  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
-                             -2.400758277161838e+00, -2.549732539343734e+00,
-                             4.374664141464968e+00,  2.938163982698783e+00};
-  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
-                             2.445134137142996e+00, 3.754408661907416e+00};
-  constexpr double p_low = 0.02425;
+  // Coefficients for Acklam's rational approximation (shared with the AVX2
+  // batch kernel — see normal_acklam.h).
+  const double* a = internal::kAcklamA;
+  const double* b = internal::kAcklamB;
+  const double* c = internal::kAcklamC;
+  const double* d = internal::kAcklamD;
+  constexpr double p_low = internal::kAcklamPLow;
 
   double x;
   if (p < p_low) {
@@ -57,6 +58,72 @@ double NormalInverseCdf(double p) {
   const double u = e / NormalPdf(x);
   x = x - u / (1.0 + 0.5 * x * u);
   return x;
+}
+
+namespace internal {
+
+void NormalInverseCdfBatchScalar(const double* p, double* z, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) z[i] = NormalInverseCdf(p[i]);
+}
+
+void NormalCdfBatchScalar(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = NormalCdf(x[i]);
+}
+
+void NormalPdfBatchScalar(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = NormalPdf(x[i]);
+}
+
+#if !DPCOPULA_SIMD_COMPILED
+// The AVX2 translation unit is not part of this build; keep the symbols
+// defined (as scalar forwards) so tests can reference them unconditionally.
+void NormalInverseCdfBatchAvx2(const double* p, double* z, std::size_t n) {
+  NormalInverseCdfBatchScalar(p, z, n);
+}
+void NormalCdfBatchAvx2(const double* x, double* out, std::size_t n) {
+  NormalCdfBatchScalar(x, out, n);
+}
+void NormalPdfBatchAvx2(const double* x, double* out, std::size_t n) {
+  NormalPdfBatchScalar(x, out, n);
+}
+#endif
+
+}  // namespace internal
+
+bool NormalBatchAvx2Compiled() { return DPCOPULA_SIMD_COMPILED != 0; }
+
+bool NormalBatchAvx2Active() {
+  // Resolved once: CPU features and the environment cannot change mid
+  // process, and a stable answer keeps every batch call's dispatch to one
+  // predictable branch.
+  static const bool active = NormalBatchAvx2Compiled() &&
+                             common::CpuSupportsAvx2() &&
+                             !common::SimdDisabledByEnv();
+  return active;
+}
+
+void NormalInverseCdfBatch(const double* p, double* z, std::size_t n) {
+  if (NormalBatchAvx2Active()) {
+    internal::NormalInverseCdfBatchAvx2(p, z, n);
+  } else {
+    internal::NormalInverseCdfBatchScalar(p, z, n);
+  }
+}
+
+void NormalCdfBatch(const double* x, double* out, std::size_t n) {
+  if (NormalBatchAvx2Active()) {
+    internal::NormalCdfBatchAvx2(x, out, n);
+  } else {
+    internal::NormalCdfBatchScalar(x, out, n);
+  }
+}
+
+void NormalPdfBatch(const double* x, double* out, std::size_t n) {
+  if (NormalBatchAvx2Active()) {
+    internal::NormalPdfBatchAvx2(x, out, n);
+  } else {
+    internal::NormalPdfBatchScalar(x, out, n);
+  }
 }
 
 }  // namespace dpcopula::stats

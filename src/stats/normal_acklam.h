@@ -1,0 +1,31 @@
+#ifndef DPCOPULA_STATS_NORMAL_ACKLAM_H_
+#define DPCOPULA_STATS_NORMAL_ACKLAM_H_
+
+/// Coefficients of Acklam's rational approximation to the inverse standard
+/// normal CDF, shared by the scalar kernel (normal.cc) and the AVX2 batch
+/// kernel (normal_batch_avx2.cc). Both evaluate the identical Horner
+/// sequence over these values, which is what makes the vector path
+/// bit-identical to the scalar one: every step is a correctly-rounded IEEE
+/// multiply/add/divide in the same operand order.
+
+namespace dpcopula::stats::internal {
+
+inline constexpr double kAcklamA[6] = {
+    -3.969683028665376e+01, 2.209460984245205e+02,  -2.759285104469687e+02,
+    1.383577518672690e+02,  -3.066479806614716e+01, 2.506628277459239e+00};
+inline constexpr double kAcklamB[5] = {
+    -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+    6.680131188771972e+01, -1.328068155288572e+01};
+inline constexpr double kAcklamC[6] = {
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+    -2.549732539343734e+00, 4.374664141464968e+00,  2.938163982698783e+00};
+inline constexpr double kAcklamD[4] = {
+    7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+    3.754408661907416e+00};
+
+/// Central/tail split point of the approximation.
+inline constexpr double kAcklamPLow = 0.02425;
+
+}  // namespace dpcopula::stats::internal
+
+#endif  // DPCOPULA_STATS_NORMAL_ACKLAM_H_
