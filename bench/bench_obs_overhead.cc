@@ -1,26 +1,39 @@
 // Overhead of the observability layer on the end-to-end pipeline.
 //
-// Three runtime modes over identical Synthesize runs (same data, same
+// Four runtime modes over identical Synthesize runs (same data, same
 // seed, so the work is byte-identical by the determinism guarantee):
 //
-//   disabled       ObsConfig all off — one relaxed atomic load per
-//                  instrumentation site. This is the default for library
-//                  users and must stay within ~2% of a build with
-//                  -DDPCOPULA_OBS=OFF (compare externally by rebuilding).
-//   metrics        counters/gauges/histograms on, tracing off.
-//   metrics+trace  everything on, as `dpcopula --trace-json` configures.
+//   disabled         ObsConfig all off — one relaxed atomic load per
+//                    instrumentation site. This is the default for library
+//                    users and must stay within ~2% of a build with
+//                    -DDPCOPULA_OBS=OFF (compare externally by rebuilding).
+//   metrics          counters/gauges/histograms on, tracing off.
+//   metrics+trace    spans recorded, as `dpcopula --trace-json` configures.
+//   metrics+prof     stage scopes live, as `dpcopula --profile` configures.
+//
+// Then micro-costs of the primitives themselves (Observe, Quantile,
+// StageScope both armed and disarmed), and finally the enforcement run:
+// the tiled sampler hot path with profiling on must stay within 2% of the
+// same path with obs disabled — the budget DESIGN.md promises. A blown
+// budget exits non-zero; set DPCOPULA_BENCH_NO_ENFORCE=1 to report without
+// gating (e.g. on wildly noisy shared runners).
 //
 // Reports median seconds per run and the overhead relative to `disabled`.
 // Run with DPCOPULA_BENCH_FULL=1 for a paper-scale table.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "copula/sampler.h"
 #include "core/dpcopula.h"
+#include "data/generator.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
+#include "stats/empirical_cdf.h"
 
 using namespace dpcopula;  // NOLINT(build/namespaces) — bench binary.
 
@@ -44,6 +57,139 @@ double MedianRunSeconds(const data::Table& table,
   }
   std::sort(seconds.begin(), seconds.end());
   return seconds[seconds.size() / 2];
+}
+
+// ---------------------------------------------------------------------------
+// Micro-costs of the primitives (ns per op, amortized over a tight loop).
+
+double NanosPerOp(std::size_t iters, double seconds) {
+  return 1e9 * seconds / static_cast<double>(iters);
+}
+
+void RunMicroCosts() {
+  constexpr std::size_t kIters = 1 << 20;
+
+  obs::ObsConfig on;
+  on.metrics = true;
+  on.profile = true;
+  obs::SetObsConfig(on);
+  obs::MetricsRegistry::Global().ResetAll();
+
+  obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("bench.micro_seconds");
+  bench::Timer observe_timer;
+  for (std::size_t i = 0; i < kIters; ++i) {
+    h->Observe(1e-9 * static_cast<double>((i & 0xffff) + 1));
+  }
+  const double observe_ns = NanosPerOp(kIters, observe_timer.Seconds());
+
+  // Quantile walks the bucket array — a report-time cost, not a hot-path
+  // one, but it should stay microseconds even over all 1216 buckets.
+  constexpr std::size_t kQuantileIters = 1 << 12;
+  volatile double sink = 0.0;
+  bench::Timer quantile_timer;
+  for (std::size_t i = 0; i < kQuantileIters; ++i) {
+    sink = sink + h->Quantile(0.99);
+  }
+  const double quantile_ns =
+      NanosPerOp(kQuantileIters, quantile_timer.Seconds());
+
+  bench::Timer armed_timer;
+  for (std::size_t i = 0; i < kIters; ++i) {
+    obs::StageScope scope(obs::Stage::kTauPairs);
+  }
+  const double scope_armed_ns = NanosPerOp(kIters, armed_timer.Seconds());
+
+  obs::SetObsConfig(obs::ObsConfig{});
+  bench::Timer disarmed_timer;
+  for (std::size_t i = 0; i < kIters; ++i) {
+    obs::StageScope scope(obs::Stage::kTauPairs);
+  }
+  const double scope_disarmed_ns = NanosPerOp(kIters, disarmed_timer.Seconds());
+
+  std::printf("\n--- primitive micro-costs (ns/op) ---\n");
+  bench::PrintSeriesHeader("primitive", {"ns_per_op"});
+  bench::PrintSeriesRowLabel("observe", {observe_ns});
+  bench::PrintSeriesRowLabel("quantile_p99", {quantile_ns});
+  bench::PrintSeriesRowLabel("scope_armed", {scope_armed_ns});
+  bench::PrintSeriesRowLabel("scope_off", {scope_disarmed_ns});
+}
+
+// ---------------------------------------------------------------------------
+// Enforcement: profiled sampler hot path within 2% of the unprofiled one.
+
+double MedianSamplerSeconds(const data::Schema& schema,
+                            const std::vector<stats::EmpiricalCdf>& cdfs,
+                            const linalg::Matrix& corr, std::size_t rows,
+                            std::size_t repeats) {
+  std::vector<double> seconds;
+  seconds.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    Rng rng(99);
+    bench::Timer timer;
+    auto table = copula::SampleSyntheticData(schema, cdfs, corr, rows, &rng,
+                                             /*num_threads=*/1);
+    seconds.push_back(timer.Seconds());
+    if (!table.ok()) {
+      std::fprintf(stderr, "sampler failed: %s\n",
+                   table.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2];
+}
+
+int RunSamplerBudget(std::size_t rows) {
+  constexpr std::size_t kDims = 8;
+  constexpr std::size_t kRepeats = 7;
+  std::vector<data::Attribute> attrs;
+  std::vector<stats::EmpiricalCdf> cdfs;
+  for (std::size_t j = 0; j < kDims; ++j) {
+    attrs.push_back({"x" + std::to_string(j), 64});
+    std::vector<double> counts(64);
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      counts[v] = static_cast<double>(v + 1);
+    }
+    cdfs.push_back(*stats::EmpiricalCdf::FromCounts(counts));
+  }
+  const data::Schema schema(attrs);
+  const linalg::Matrix corr = *data::Equicorrelation(kDims, 0.4);
+
+  obs::SetObsConfig(obs::ObsConfig{});
+  MedianSamplerSeconds(schema, cdfs, corr, rows, 1);  // Warm-up.
+  const double plain = MedianSamplerSeconds(schema, cdfs, corr, rows, kRepeats);
+
+  obs::ObsConfig profiled;
+  profiled.profile = true;
+  obs::SetObsConfig(profiled);
+  obs::MetricsRegistry::Global().ResetAll();
+  const double instrumented =
+      MedianSamplerSeconds(schema, cdfs, corr, rows, kRepeats);
+  obs::SetObsConfig(obs::ObsConfig{});
+
+  const double overhead = 100.0 * (instrumented - plain) / plain;
+  std::printf("\n--- sampler hot path, profile budget (n=%zu, m=%zu) ---\n",
+              rows, kDims);
+  bench::PrintSeriesHeader("mode", {"median_s", "overhead_%"});
+  bench::PrintSeriesRowLabel("uninstrumented", {plain, 0.0});
+  bench::PrintSeriesRowLabel("profiled", {instrumented, overhead});
+
+  constexpr double kBudgetPercent = 2.0;
+  if (overhead > kBudgetPercent) {
+    if (std::getenv("DPCOPULA_BENCH_NO_ENFORCE") != nullptr) {
+      std::printf("over the %.1f%% budget (enforcement disabled)\n",
+                  kBudgetPercent);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "FAIL: profiled sampler %.2f%% over uninstrumented "
+                 "(budget %.1f%%)\n",
+                 overhead, kBudgetPercent);
+    return 1;
+  }
+  std::printf("within the %.1f%% budget\n", kBudgetPercent);
+  return 0;
 }
 
 }  // namespace
@@ -77,13 +223,16 @@ int main() {
     const char* name;
     obs::ObsConfig config;
   };
-  std::vector<Mode> modes(3);
+  std::vector<Mode> modes(4);
   modes[0].name = "disabled";
   modes[1].name = "metrics";
   modes[1].config.metrics = true;
   modes[2].name = "metrics+trace";
   modes[2].config.metrics = true;
   modes[2].config.trace = true;
+  modes[3].name = "metrics+prof";
+  modes[3].config.metrics = true;
+  modes[3].config.profile = true;
 
   double baseline = 0.0;
   bench::PrintSeriesHeader("mode", {"median_s", "overhead_%"});
@@ -99,5 +248,7 @@ int main() {
         mode.name, {median, 100.0 * (median - baseline) / baseline});
   }
   obs::SetObsConfig(obs::ObsConfig{});
-  return 0;
+
+  RunMicroCosts();
+  return RunSamplerBudget(rows);
 }

@@ -14,6 +14,7 @@
 #include "linalg/psd_repair.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "stats/distributions.h"
 #include "stats/kendall.h"
@@ -149,6 +150,7 @@ Result<KendallEstimate> EstimateKendallCorrelation(
         0, m, /*grain=*/1,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t j = begin; j < end; ++j) {
+            obs::StageScope stage(obs::Stage::kRankCacheBuild);
             auto built = stats::BuildRankColumn(*cols[j]);
             if (!built.ok()) {
               rank_failure.Record(j, built.status());
@@ -206,18 +208,22 @@ Result<KendallEstimate> EstimateKendallCorrelation(
         static thread_local stats::TauWorkspace workspace;
         for (std::size_t i = begin; i < end; ++i) {
           Pair& pair = pairs[i];
-          Result<double> tau =
-              DPC_FAILPOINT_AT("kendall.pair_tau", i)
-                  ? Result<double>(
-                        failpoint::InjectedFault("kendall.pair_tau"))
-                  : (options.kernel == stats::TauKernel::kRankCache
-                         ? stats::KendallTauFromRanks(
-                               ranks[pair.j], ranks[pair.k], &workspace)
-                         : stats::KendallTau(*cols[pair.j], *cols[pair.k]));
+          Result<double> tau = [&]() -> Result<double> {
+            obs::StageScope stage(obs::Stage::kTauPairs);
+            return DPC_FAILPOINT_AT("kendall.pair_tau", i)
+                       ? Result<double>(
+                             failpoint::InjectedFault("kendall.pair_tau"))
+                       : (options.kernel == stats::TauKernel::kRankCache
+                              ? stats::KendallTauFromRanks(
+                                    ranks[pair.j], ranks[pair.k], &workspace)
+                              : stats::KendallTau(*cols[pair.j],
+                                                  *cols[pair.k]));
+          }();
           if (!tau.ok()) {
             pair_failure.Record(i, tau.status());
             continue;
           }
+          obs::StageScope noise_stage(obs::Stage::kLaplaceNoise);
           double noisy_tau = *tau + stats::SampleLaplace(&pair.rng, scale);
           // Clamping into the valid tau range is post-processing and costs
           // no privacy.

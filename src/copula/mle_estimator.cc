@@ -16,6 +16,7 @@
 #include "linalg/psd_repair.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "stats/distributions.h"
 #include "stats/normal.h"
@@ -390,6 +391,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
                 "mle.partition_fit[" + std::to_string(ti) + "]",
                 estimate_span_id);
             obs::ScopedTimer fit_timer(fit_seconds);
+            obs::StageScope fit_stage(obs::Stage::kMlePartitionFit);
             if (DPC_FAILPOINT_AT("mle.partition_fit", ti)) {
               fits[ti] = failpoint::InjectedFault("mle.partition_fit");
               continue;
@@ -459,6 +461,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
                 "mle.partition_fit[" + std::to_string(ti) + "]",
                 estimate_span_id);
             obs::ScopedTimer fit_timer(fit_seconds);
+            obs::StageScope fit_stage(obs::Stage::kMlePartitionFit);
             // Failpoint first — the legacy loop injects before any
             // per-partition work, so an armed fault shadows a data error.
             if (DPC_FAILPOINT_AT("mle.partition_fit", ti)) {

@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "linalg/cholesky.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "stats/distributions.h"
 #include "stats/normal.h"
 
@@ -106,8 +107,13 @@ Result<data::Table> SampleSyntheticData(
     int num_threads, SamplerKernel kernel) {
   const std::size_t m = schema.num_attributes();
   DPC_RETURN_NOT_OK(ValidateSamplerInputs(schema, marginal_cdfs, correlation));
-  DPC_ASSIGN_OR_RETURN(linalg::Matrix chol,
-                       linalg::CholeskyDecompose(correlation));
+  // The factorization is profiled here rather than inside linalg: PSD
+  // repair also runs CholeskyDecompose internally (the PD probe), and
+  // stages must stay disjoint.
+  DPC_ASSIGN_OR_RETURN(linalg::Matrix chol, [&] {
+    obs::StageScope stage(obs::Stage::kCholesky);
+    return linalg::CholeskyDecompose(correlation);
+  }());
 
   const std::vector<stats::InverseCdfTable> tables =
       kernel == SamplerKernel::kTiled ? BuildInverseTables(marginal_cdfs)
@@ -161,9 +167,16 @@ Result<data::Table> SampleSyntheticData(
               return;
             }
           }
-          shard_rng->FillGaussian(scratch.z.data(), m * tile_rows);
-          ApplyCholeskyTile(chol, m, tile_rows, scratch.z.data(),
-                            scratch.w.data());
+          {
+            obs::StageScope stage(obs::Stage::kGaussianFill);
+            shard_rng->FillGaussian(scratch.z.data(), m * tile_rows);
+          }
+          {
+            obs::StageScope stage(obs::Stage::kCholeskyApply);
+            ApplyCholeskyTile(chol, m, tile_rows, scratch.z.data(),
+                              scratch.w.data());
+          }
+          obs::StageScope stage(obs::Stage::kInverseCdf);
           for (std::size_t j = 0; j < m; ++j) {
             double* col = out.mutable_column(j).data() + tile;
             const double* wj = scratch.w.data() + j * kSamplerTileRows;
@@ -191,8 +204,10 @@ Result<data::Table> SampleSyntheticDataT(
   if (!(dof > 0.0)) {
     return Status::InvalidArgument("t sampler: dof must be > 0");
   }
-  DPC_ASSIGN_OR_RETURN(linalg::Matrix chol,
-                       linalg::CholeskyDecompose(correlation));
+  DPC_ASSIGN_OR_RETURN(linalg::Matrix chol, [&] {
+    obs::StageScope stage(obs::Stage::kCholesky);
+    return linalg::CholeskyDecompose(correlation);
+  }());
 
   const std::vector<stats::InverseCdfTable> tables =
       kernel == SamplerKernel::kTiled ? BuildInverseTables(marginal_cdfs)
@@ -243,15 +258,22 @@ Result<data::Table> SampleSyntheticDataT(
               return;
             }
           }
-          // Draw order within a tile is fixed: the Gaussian block first,
-          // then one chi-squared mixing variable per record.
-          shard_rng->FillGaussian(scratch.z.data(), m * tile_rows);
-          for (std::size_t r = 0; r < tile_rows; ++r) {
-            const double w = stats::SampleChiSquared(shard_rng, dof);
-            scale[r] = std::sqrt(dof / w);
+          {
+            // Draw order within a tile is fixed: the Gaussian block first,
+            // then one chi-squared mixing variable per record.
+            obs::StageScope stage(obs::Stage::kGaussianFill);
+            shard_rng->FillGaussian(scratch.z.data(), m * tile_rows);
+            for (std::size_t r = 0; r < tile_rows; ++r) {
+              const double w = stats::SampleChiSquared(shard_rng, dof);
+              scale[r] = std::sqrt(dof / w);
+            }
           }
-          ApplyCholeskyTile(chol, m, tile_rows, scratch.z.data(),
-                            scratch.w.data());
+          {
+            obs::StageScope stage(obs::Stage::kCholeskyApply);
+            ApplyCholeskyTile(chol, m, tile_rows, scratch.z.data(),
+                              scratch.w.data());
+          }
+          obs::StageScope stage(obs::Stage::kInverseCdf);
           for (std::size_t j = 0; j < m; ++j) {
             double* col = out.mutable_column(j).data() + tile;
             const double* wj = scratch.w.data() + j * kSamplerTileRows;

@@ -11,6 +11,7 @@
 #include "marginals/postprocess.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "stats/empirical_cdf.h"
 
@@ -116,6 +117,7 @@ Result<SynthesisResult> Synthesize(const data::Table& table,
   {
     obs::Span margins_span("margins");
     for (std::size_t j = 0; j < m; ++j) {
+      obs::StageScope stage(obs::Stage::kMarginPublish);
       DPC_RETURN_NOT_OK(result.budget.Charge(
           eps_per_margin, "margin:" + table.schema().attribute(j).name,
           /*sensitivity=*/1.0));

@@ -9,10 +9,12 @@
 #include "common/failpoint.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace dpcopula::data {
 
 Status WriteCsv(const Table& table, const std::string& path) {
+  obs::StageScope stage(obs::Stage::kCsvWrite);
   return WriteFileAtomic(path, [&](std::ostream& out) -> Status {
     const auto& schema = table.schema();
     for (std::size_t j = 0; j < schema.num_attributes(); ++j) {
@@ -88,6 +90,7 @@ Result<CsvReadResult> ReadCsvImpl(const std::string& path,
                                   const Schema* schema,
                                   const ReadCsvOptions& options,
                                   bool check_non_finite) {
+  obs::StageScope stage(obs::Stage::kCsvRead);
   static obs::Counter* const quarantined_counter =
       obs::MetricsRegistry::Global().GetCounter("csv.rows_quarantined");
 

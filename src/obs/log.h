@@ -44,6 +44,10 @@ struct ObsConfig {
   LogLevel log_level = LogLevel::kOff;
   bool metrics = false;  // MetricsRegistry updates.
   bool trace = false;    // Span recording.
+  // Stage profiling (obs/profile.h): StageScope timings into the
+  // profile.* histograms. The profile histograms live in the
+  // MetricsRegistry, so enabling profiling implies metrics.
+  bool profile = false;
 };
 
 /// Installs `config` process-wide. Safe to call at any time; individual
@@ -58,6 +62,7 @@ namespace internal {
 extern std::atomic<int> g_log_level;
 extern std::atomic<bool> g_metrics_enabled;
 extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_profile_enabled;
 
 /// Small dense per-thread index (0, 1, 2, ...) used for metric sharding and
 /// span thread attribution. Assigned on first use per thread.
@@ -86,6 +91,14 @@ inline bool MetricsEnabled() {
 inline bool TraceEnabled() {
 #if DPCOPULA_OBS_ENABLED
   return internal::g_trace_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+inline bool ProfilingEnabled() {
+#if DPCOPULA_OBS_ENABLED
+  return internal::g_profile_enabled.load(std::memory_order_relaxed);
 #else
   return false;
 #endif

@@ -1,25 +1,57 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
 namespace dpcopula::obs {
 
+int Histogram::BucketIndex(std::int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  const auto n = static_cast<std::uint64_t>(nanos);
+  if (n < kSubBucketCount) return static_cast<int>(n);
+  // n >= 32: divide [2^e, 2^(e+1)) into 32 linear sub-buckets by dropping
+  // all but the top kSubBucketBits+1 significant bits.
+  const int exponent = std::bit_width(n) - 1;
+  const int shift = exponent - kSubBucketBits;
+  const int index =
+      (shift << kSubBucketBits) + static_cast<int>(n >> shift);
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+std::int64_t Histogram::BucketUpperBoundNanos(int i) {
+  if (i < kSubBucketCount) return i;  // Exact small values: bucket i == i ns.
+  const int shift = (i >> kSubBucketBits) - 1;
+  const std::int64_t sub =
+      (i & (kSubBucketCount - 1)) | kSubBucketCount;  // In [32, 64).
+  return ((sub + 1) << shift) - 1;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(BucketUpperBoundNanos(i)) * 1e-9;
+}
+
 void Histogram::Observe(double seconds) {
 #if DPCOPULA_OBS_ENABLED
   if (!MetricsEnabled()) return;
   if (!(seconds >= 0.0) || !std::isfinite(seconds)) seconds = 0.0;
-  // Bucket i has upper bound 1us * 2^i; find the first that fits.
-  int bucket = 0;
-  double bound = 1e-6;
-  while (bucket < kBuckets - 1 && seconds > bound) {
-    bound *= 2.0;
-    ++bucket;
-  }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // 2^62 ns headroom before the double->int64 cast could overflow; the
+  // index computation clamps into the overflow bucket far earlier anyway.
+  const double capped = std::min(seconds * 1e9, 4.6e18);
+  const auto nanos = static_cast<std::int64_t>(capped);
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_nanos_.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
-                       std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  // Relaxed CAS max: contended only while a new maximum is being set,
+  // which is rare after warm-up.
+  std::int64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
 #else
   (void)seconds;
 #endif
@@ -34,17 +66,59 @@ std::vector<std::int64_t> Histogram::BucketCounts() const {
   return out;
 }
 
-double Histogram::BucketUpperBound(int i) {
-  if (i >= kBuckets - 1) {
-    return std::numeric_limits<double>::infinity();
+namespace {
+
+/// Quantile over a bucket snapshot: upper bound of the bucket holding the
+/// observation of rank ceil(q * total); the overflow bucket reports the
+/// tracked maximum (its upper bound is +inf).
+double QuantileFromBuckets(const std::vector<std::int64_t>& buckets,
+                           std::int64_t total, double max_seconds,
+                           double q) {
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::int64_t cum = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    cum += buckets[static_cast<std::size_t>(i)];
+    if (cum >= rank) {
+      if (i == Histogram::kBuckets - 1) return max_seconds;
+      return Histogram::BucketUpperBound(i);
+    }
   }
-  return 1e-6 * std::pow(2.0, i);
+  return max_seconds;
+}
+
+}  // namespace
+
+double Histogram::Quantile(double q) const {
+  const std::vector<std::int64_t> buckets = BucketCounts();
+  std::int64_t total = 0;
+  for (std::int64_t b : buckets) total += b;
+  return QuantileFromBuckets(buckets, total, Max(), q);
+}
+
+Histogram::Summary Histogram::GetSummary() const {
+  const std::vector<std::int64_t> buckets = BucketCounts();
+  std::int64_t total = 0;
+  for (std::int64_t b : buckets) total += b;
+  Summary s;
+  s.count = total;
+  s.sum_seconds = Sum();
+  s.max_seconds = Max();
+  s.p50 = QuantileFromBuckets(buckets, total, s.max_seconds, 0.50);
+  s.p90 = QuantileFromBuckets(buckets, total, s.max_seconds, 0.90);
+  s.p99 = QuantileFromBuckets(buckets, total, s.max_seconds, 0.99);
+  s.p999 = QuantileFromBuckets(buckets, total, s.max_seconds, 0.999);
+  return s;
 }
 
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -98,8 +172,14 @@ std::vector<MetricsRegistry::MetricSnapshot> MetricsRegistry::Snapshot()
     MetricSnapshot s;
     s.name = name;
     s.type = MetricType::kHistogram;
-    s.histogram_count = histogram->Count();
-    s.histogram_sum_seconds = histogram->Sum();
+    const Histogram::Summary summary = histogram->GetSummary();
+    s.histogram_count = summary.count;
+    s.histogram_sum_seconds = summary.sum_seconds;
+    s.histogram_max_seconds = summary.max_seconds;
+    s.histogram_p50 = summary.p50;
+    s.histogram_p90 = summary.p90;
+    s.histogram_p99 = summary.p99;
+    s.histogram_p999 = summary.p999;
     s.histogram_buckets = histogram->BucketCounts();
     out.push_back(std::move(s));
   }

@@ -85,15 +85,27 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-/// Fixed-bucket latency histogram in seconds. Buckets are exponential:
-/// upper bounds 1us * 2^i for i = 0..kBuckets-2, plus a final +inf bucket —
-/// ~1us to ~67s, which covers everything from a single marginal publish to
-/// a full Census-scale synthesis. Fixed buckets mean Observe() is one
-/// index computation plus two relaxed atomic adds, with no allocation and
-/// no locks.
+/// Log-bucketed (HDR-style) latency histogram in seconds. Observations are
+/// stored as integer nanoseconds in buckets that subdivide every power of
+/// two into kSubBucketCount linear sub-buckets, so every bucket's bounds
+/// are exact integers and the bucket width is at most 1/kSubBucketCount of
+/// its lower bound. That makes quantile extraction (p50/p90/p99/p99.9)
+/// exact to a guaranteed relative error of 1/kSubBucketCount (~3.1%):
+/// Quantile() returns the inclusive upper bound of the bucket holding the
+/// ranked observation, which can never undershoot the true quantile and
+/// overshoots it by at most that bound. Values below kSubBucketCount ns
+/// are stored exactly. The tracked range is 0ns .. 2^42ns (~73 minutes);
+/// anything beyond lands in the final overflow bucket, whose quantiles
+/// report the tracked maximum instead of a bound.
+///
+/// Observe() is a bit-scan plus four relaxed atomic updates — no locks, no
+/// allocation — and is safe to call concurrently from ParallelFor workers.
 class Histogram {
  public:
-  static constexpr int kBuckets = 27;
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBucketCount = 1 << kSubBucketBits;  // 32
+  // Exponents 0..41 → shift 0..36; index = shift * 32 + sub (sub < 64).
+  static constexpr int kBuckets = 38 * kSubBucketCount;  // 1216
 
   Histogram() = default;
   Histogram(const Histogram&) = delete;
@@ -109,8 +121,37 @@ class Histogram {
     return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
            1e-9;
   }
+  /// Largest observation seen, in seconds (0 when empty).
+  double Max() const {
+    return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
   std::vector<std::int64_t> BucketCounts() const;
 
+  /// The q-quantile (q in [0, 1]) in seconds: the inclusive upper bound of
+  /// the bucket holding the observation of rank ceil(q * count). Returns 0
+  /// on an empty histogram and the tracked maximum for ranks that fall in
+  /// the overflow bucket. Racy-but-consistent under concurrent Observe()
+  /// (operates on one bucket snapshot), exact once writers have joined.
+  double Quantile(double q) const;
+
+  /// One consistent pass over a single bucket snapshot: count, sum, max,
+  /// and the four standard percentiles the run report publishes.
+  struct Summary {
+    std::int64_t count = 0;
+    double sum_seconds = 0.0;
+    double max_seconds = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+  };
+  Summary GetSummary() const;
+
+  /// Bucket index an observation of `nanos` lands in.
+  static int BucketIndex(std::int64_t nanos);
+  /// Inclusive upper bound of bucket `i` in integer nanoseconds.
+  static std::int64_t BucketUpperBoundNanos(int i);
   /// Inclusive upper bound of bucket `i` in seconds; +inf for the last.
   static double BucketUpperBound(int i);
 
@@ -120,6 +161,7 @@ class Histogram {
   std::atomic<std::int64_t> buckets_[kBuckets] = {};
   std::atomic<std::int64_t> count_{0};
   std::atomic<std::int64_t> sum_nanos_{0};
+  std::atomic<std::int64_t> max_nanos_{0};
 };
 
 /// RAII wall-clock timer feeding a Histogram. Reads the steady clock only
@@ -167,6 +209,11 @@ class MetricsRegistry {
     double gauge_value = 0.0;
     std::int64_t histogram_count = 0;
     double histogram_sum_seconds = 0.0;
+    double histogram_max_seconds = 0.0;
+    double histogram_p50 = 0.0;
+    double histogram_p90 = 0.0;
+    double histogram_p99 = 0.0;
+    double histogram_p999 = 0.0;
     std::vector<std::int64_t> histogram_buckets;
   };
 

@@ -1,10 +1,10 @@
 #include "obs/report.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <map>
 
+#include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -12,61 +12,9 @@ namespace dpcopula::obs {
 
 namespace {
 
-// --- Minimal JSON writer -------------------------------------------------
-//
-// The report schema is small and fully known, so a handful of append
-// helpers beats dragging in a JSON library (the container has none).
-
-void AppendJsonString(std::string* out, const std::string& s) {
-  *out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-  *out += '"';
-}
-
-void AppendJsonDouble(std::string* out, double v) {
-  if (!std::isfinite(v)) {
-    // JSON has no inf/nan; null keeps the document parseable and the
-    // pathology visible.
-    *out += "null";
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  *out += buf;
-}
-
-void AppendJsonInt(std::string* out, std::int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  *out += buf;
-}
+using internal::AppendJsonDouble;
+using internal::AppendJsonInt;
+using internal::AppendJsonString;
 
 // --- Trace tree ----------------------------------------------------------
 
@@ -174,9 +122,24 @@ void AppendMetrics(std::string* out) {
     AppendJsonInt(out, m.histogram_count);
     *out += ",\"sum_seconds\":";
     AppendJsonDouble(out, m.histogram_sum_seconds);
+    *out += ",\"max_seconds\":";
+    AppendJsonDouble(out, m.histogram_max_seconds);
+    *out += ",\"p50\":";
+    AppendJsonDouble(out, m.histogram_p50);
+    *out += ",\"p90\":";
+    AppendJsonDouble(out, m.histogram_p90);
+    *out += ",\"p99\":";
+    AppendJsonDouble(out, m.histogram_p99);
+    *out += ",\"p999\":";
+    AppendJsonDouble(out, m.histogram_p999);
+    // The HDR layout has 1216 buckets, nearly all empty for a typical
+    // latency distribution — emit only the occupied ones.
     *out += ",\"buckets\":[";
+    bool first_bucket = true;
     for (std::size_t i = 0; i < m.histogram_buckets.size(); ++i) {
-      if (i > 0) *out += ',';
+      if (m.histogram_buckets[i] == 0) continue;
+      if (!first_bucket) *out += ',';
+      first_bucket = false;
       *out += "{\"le\":";
       AppendJsonDouble(out, Histogram::BucketUpperBound(static_cast<int>(i)));
       *out += ",\"count\":";
@@ -219,7 +182,9 @@ void AppendBudget(std::string* out, const BudgetAudit& audit) {
 std::string RenderRunReportJson(const BudgetAudit* audit) {
   std::string out;
   out.reserve(4096);
-  out += "{\"version\":1,\"obs_compiled_in\":";
+  // Version 2: histograms gained max_seconds/p50/p90/p99/p999 and emit
+  // only non-empty buckets.
+  out += "{\"version\":2,\"obs_compiled_in\":";
   out += DPCOPULA_OBS_ENABLED ? "true" : "false";
   out += ',';
   AppendTrace(&out);

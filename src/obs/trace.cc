@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dpcopula::obs {
 
 namespace internal {
@@ -70,12 +72,19 @@ SpanId Tracer::NextId() {
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  if (impl_->records.size() >= kMaxSpans) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->records.size() < kMaxSpans) {
+      impl_->records.push_back(std::move(record));
+      return;
+    }
     impl_->dropped.fetch_add(1, std::memory_order_relaxed);
-    return;
   }
-  impl_->records.push_back(std::move(record));
+  // Surface the overflow where dashboards already look. Outside the span
+  // lock: GetCounter takes the registry mutex on first use.
+  static Counter* dropped_counter =
+      MetricsRegistry::Global().GetCounter("trace.spans_dropped");
+  dropped_counter->Increment();
 }
 
 Span::Span(std::string name, SpanId explicit_parent) {

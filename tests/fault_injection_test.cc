@@ -80,6 +80,11 @@ using failpoint::Spec;
   return obs::MetricsRegistry::Global().GetCounter(name)->Value();
 }
 
+// Degradation counters only count when the obs layer is compiled in; with
+// -DDPCOPULA_OBS=OFF every counter reads 0 and the delta assertions below
+// must not fire (the recovery behavior itself is still asserted).
+constexpr bool kCountersLive = DPCOPULA_OBS_ENABLED != 0;
+
 // Every test arms sites, so the fixture guarantees a clean slate (and
 // metrics, which the degradation counters need) on both sides.
 class FaultInjectionTest : public ::testing::Test {
@@ -322,7 +327,9 @@ TEST_F(FaultInjectionTest, EigenRetryRecoversFromOneNonConvergence) {
   auto repaired = linalg::EnsureCorrelationMatrix(bad);
   ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
   EXPECT_TRUE(linalg::IsPositiveDefinite(*repaired));
-  EXPECT_EQ(CounterValue("linalg.eigen_retries"), retries_before + 1);
+  if (kCountersLive) {
+    EXPECT_EQ(CounterValue("linalg.eigen_retries"), retries_before + 1);
+  }
 
   Registry::Global().DisarmAll();
   ASSERT_TRUE(
@@ -347,7 +354,10 @@ TEST_F(FaultInjectionTest, MleAveragesSurvivingPartitions) {
   auto est = copula::EstimateMleCorrelation(t, 2.0, &rng_a, options);
   ASSERT_TRUE(est.ok()) << est.status().ToString();
   EXPECT_EQ(est->failed_partitions, 2);
-  EXPECT_EQ(CounterValue("mle.partition_fit_failures"), failures_before + 2);
+  if (kCountersLive) {
+    EXPECT_EQ(CounterValue("mle.partition_fit_failures"),
+              failures_before + 2);
+  }
   // Scale reflects the 6 survivors, not the 8 partitions: a *larger* noise
   // scale, never a smaller one (that would be a privacy bug).
   const double num_pairs = 3.0;
@@ -404,7 +414,10 @@ TEST_F(FaultInjectionTest, SynthesizeDegradesCorrelationWhenAllowed) {
   ExpectMatricesIdentical(res->correlation, linalg::Matrix::Identity(3));
   EXPECT_NEAR(res->budget.spent(), options.epsilon, 1e-9);
   EXPECT_EQ(res->synthetic.num_rows(), t.num_rows());
-  EXPECT_EQ(CounterValue("core.degraded_correlations"), degraded_before + 1);
+  if (kCountersLive) {
+    EXPECT_EQ(CounterValue("core.degraded_correlations"),
+              degraded_before + 1);
+  }
 }
 
 TEST_F(FaultInjectionTest, HybridPartitionFaultFailsClosed) {
@@ -529,7 +542,9 @@ TEST_F(FaultInjectionTest, DispatchFaultFallsBackSequentially) {
   Rng rng_b(62);
   auto degraded = core::Synthesize(t, options, &rng_b);
   ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
-  EXPECT_GT(CounterValue("parallel.dispatch_fallbacks"), fallbacks_before);
+  if (kCountersLive) {
+    EXPECT_GT(CounterValue("parallel.dispatch_fallbacks"), fallbacks_before);
+  }
   // The fallback only loses parallel wall-clock; output bytes are the same.
   ExpectTablesIdentical(healthy->synthetic, degraded->synthetic);
 }
@@ -555,7 +570,10 @@ TEST_F(FaultInjectionTest, StreamingRejectsPoisonedBatchWithoutCorruption) {
   ASSERT_FALSE(poisoned.ok());
   EXPECT_NE(poisoned.message().find("streaming.ingest.merge"),
             std::string::npos);
-  EXPECT_EQ(CounterValue("streaming.batches_rejected"), rejected_before + 1);
+  if (kCountersLive) {
+    EXPECT_EQ(CounterValue("streaming.batches_rejected"),
+              rejected_before + 1);
+  }
   EXPECT_EQ(s.num_batches(), 1u);
   EXPECT_EQ(s.accumulated_weight(), weight_before);
   auto after = s.CurrentModel();

@@ -11,6 +11,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,167 +20,17 @@
 #include "common/rng.h"
 #include "core/dpcopula.h"
 #include "data/generator.h"
+#include "json_checker_test_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace dpcopula {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON validity checker for the round-trip test: accepts exactly the
-// JSON grammar (objects, arrays, strings with escapes, numbers, literals).
-// Returns false on any syntax error or trailing garbage.
-class JsonChecker {
- public:
-  static bool Valid(const std::string& text) {
-    JsonChecker c(text);
-    c.SkipWs();
-    if (!c.Value()) return false;
-    c.SkipWs();
-    return c.pos_ == text.size();
-  }
-
- private:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        const char e = text_[pos_];
-        if (e == 'u') {
-          if (pos_ + 4 >= text_.size()) return false;
-          pos_ += 4;
-        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
-          return false;
-        }
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        return false;  // Raw control characters must be escaped.
-      }
-      ++pos_;
-    }
-    return false;
-  }
-
-  bool Number() {
-    const std::size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
-    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    if (Peek() == '.') {
-      ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
-      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    }
-    if (Peek() == 'e' || Peek() == 'E') {
-      ++pos_;
-      if (Peek() == '+' || Peek() == '-') ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
-      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool Literal(const char* word) {
-    const std::size_t len = std::string(word).size();
-    if (text_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-            text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using test::JsonChecker;
 
 // Sums every `"key": <number>` occurrence at or after `from`.
 double SumNumbersForKey(const std::string& json, const std::string& key,
@@ -244,26 +95,153 @@ TEST_F(ObsTest, GaugeHoldsLastWrite) {
 TEST_F(ObsTest, HistogramBucketsObservationsBySeconds) {
   obs::Histogram* h =
       obs::MetricsRegistry::Global().GetHistogram("obs_test.h");
-  // Bucket bounds are fixed: 1us * 2^i, +inf last. Monotone by definition.
+  // HDR layout: integer-nanosecond bounds, strictly monotone, +inf last.
   for (int i = 1; i < obs::Histogram::kBuckets - 1; ++i) {
-    EXPECT_GT(obs::Histogram::BucketUpperBound(i),
-              obs::Histogram::BucketUpperBound(i - 1));
+    EXPECT_GT(obs::Histogram::BucketUpperBoundNanos(i),
+              obs::Histogram::BucketUpperBoundNanos(i - 1));
   }
   EXPECT_TRUE(std::isinf(
       obs::Histogram::BucketUpperBound(obs::Histogram::kBuckets - 1)));
 
-  h->Observe(0.5e-6);  // First bucket.
-  h->Observe(3.0e-6);  // A middle bucket.
-  h->Observe(1e9);     // Overflow bucket.
+  h->Observe(3e-9);    // 3 ns: the exact small-value region (bucket == n).
+  h->Observe(0.5e-6);  // 500 ns: a log bucket.
+  h->Observe(1e9);     // Far past the 2^42ns range: overflow bucket.
 #if DPCOPULA_OBS_ENABLED
   EXPECT_EQ(h->Count(), 3);
   const auto buckets = h->BucketCounts();
-  EXPECT_EQ(buckets.front(), 1);
+  EXPECT_EQ(buckets[3], 1);
+  EXPECT_EQ(buckets[static_cast<std::size_t>(
+                obs::Histogram::BucketIndex(500))],
+            1);
   EXPECT_EQ(buckets.back(), 1);
   std::int64_t total = 0;
   for (std::int64_t b : buckets) total += b;
   EXPECT_EQ(total, 3);
   EXPECT_GT(h->Sum(), 0.0);
+  EXPECT_NEAR(h->Max(), 1e9, 1e-9 * 1e9 + 5e9);  // Clamped into range.
+#else
+  EXPECT_EQ(h->Count(), 0);
+#endif
+}
+
+TEST_F(ObsTest, HistogramBucketIndexInvariants) {
+  using H = obs::Histogram;
+  // Small values are stored exactly: bucket n covers exactly {n} for n<32.
+  for (std::int64_t n = 0; n < H::kSubBucketCount; ++n) {
+    EXPECT_EQ(H::BucketIndex(n), static_cast<int>(n));
+    EXPECT_EQ(H::BucketUpperBoundNanos(static_cast<int>(n)), n);
+  }
+  // Every bucket contains its own upper bound, upper bounds are tight
+  // (UB+1 lands in a later bucket), and the relative bucket width is at
+  // most 1/kSubBucketCount of the value.
+  Rng rng(7);
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Log-uniform nanos across the whole tracked range.
+    const double log_max = 42.0 * 0.6931471805599453;
+    const std::int64_t n = static_cast<std::int64_t>(
+        std::exp(rng.NextDouble() * log_max));
+    const int i = H::BucketIndex(n);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, H::kBuckets);
+    const std::int64_t ub = H::BucketUpperBoundNanos(i);
+    if (i < H::kBuckets - 1) {
+      EXPECT_LE(n, ub) << n;
+      EXPECT_GT(H::BucketIndex(ub + 1), i) << n;
+      const std::int64_t lb =
+          (i == 0) ? 0 : H::BucketUpperBoundNanos(i - 1) + 1;
+      EXPECT_GE(n, lb) << n;
+      // Relative error of reporting UB for any member of the bucket.
+      EXPECT_LE(static_cast<double>(ub - lb),
+                static_cast<double>(lb) / H::kSubBucketCount + 1.0)
+          << n;
+    }
+  }
+  // Negative and absurd inputs clamp instead of indexing out of range.
+  EXPECT_EQ(H::BucketIndex(-5), 0);
+  EXPECT_EQ(H::BucketIndex(std::numeric_limits<std::int64_t>::max() / 2),
+            H::kBuckets - 1);
+}
+
+TEST_F(ObsTest, HistogramQuantilesMatchExactWithinBucketError) {
+  obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("obs_test.hq");
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Mixture: microseconds-scale mass plus a sparse millisecond tail, the
+    // shape of a real latency histogram.
+    double seconds = 1e-6 * std::exp(3.0 * rng.NextDouble());
+    if (i % 50 == 0) seconds *= 1000.0;
+    values.push_back(seconds);
+    h->Observe(seconds);
+  }
+#if DPCOPULA_OBS_ENABLED
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const auto rank = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::ceil(q * static_cast<double>(sorted.size()))));
+    const double exact = sorted[static_cast<std::size_t>(rank - 1)];
+    const double got = h->Quantile(q);
+    // The reported quantile is the inclusive bucket upper bound: never
+    // below the true quantile (modulo 1ns double->int truncation), above
+    // it by at most the relative bucket width.
+    EXPECT_GE(got, exact - 2e-9) << "q=" << q;
+    EXPECT_LE(got, exact * (1.0 + 1.0 / obs::Histogram::kSubBucketCount) +
+                       2e-9)
+        << "q=" << q;
+  }
+  const obs::Histogram::Summary summary = h->GetSummary();
+  EXPECT_EQ(summary.count, static_cast<std::int64_t>(values.size()));
+  EXPECT_EQ(summary.p50, h->Quantile(0.5));
+  EXPECT_EQ(summary.p999, h->Quantile(0.999));
+  EXPECT_LE(summary.p50, summary.p90);
+  EXPECT_LE(summary.p90, summary.p99);
+  EXPECT_LE(summary.p99, summary.p999);
+  EXPECT_LE(summary.p999, summary.max_seconds *
+                              (1.0 + 1.0 / obs::Histogram::kSubBucketCount));
+#else
+  EXPECT_EQ(h->Quantile(0.5), 0.0);
+#endif
+}
+
+TEST_F(ObsTest, HistogramEmptyAndSingleObservationQuantiles) {
+  obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("obs_test.hq1");
+  EXPECT_EQ(h->Quantile(0.5), 0.0);  // Empty histogram.
+  h->Observe(1.5e-3);
+#if DPCOPULA_OBS_ENABLED
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_GE(h->Quantile(q), 1.5e-3 * (1.0 - 1e-9) - 2e-9);
+    EXPECT_LE(h->Quantile(q),
+              1.5e-3 * (1.0 + 1.0 / obs::Histogram::kSubBucketCount));
+  }
+#endif
+}
+
+TEST_F(ObsTest, HistogramConcurrentObserveAndQuantile) {
+  obs::Histogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("obs_test.hc");
+  constexpr std::size_t kItems = 20000;
+  // Writers on pool workers race with Quantile/GetSummary readers; TSan
+  // verifies the lock-free claim, the exact count verifies no lost update.
+  ParallelFor(
+      0, kItems, /*grain=*/128,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          h->Observe(1e-6 * static_cast<double>(1 + (i & 1023)));
+          if ((i & 511) == 0) {
+            const double q = h->Quantile(0.9);
+            EXPECT_GE(q, 0.0);  // Racy but always well-formed.
+            (void)h->GetSummary();
+          }
+        }
+      },
+      /*num_threads=*/8);
+#if DPCOPULA_OBS_ENABLED
+  EXPECT_EQ(h->Count(), static_cast<std::int64_t>(kItems));
+  EXPECT_GT(h->Quantile(0.5), 0.0);
 #else
   EXPECT_EQ(h->Count(), 0);
 #endif
@@ -351,6 +329,113 @@ TEST_F(ObsTest, ResetDropsRecordedSpans) {
   obs::Tracer::Global().Reset();
   EXPECT_TRUE(obs::Tracer::Global().Snapshot().empty());
   EXPECT_EQ(obs::Tracer::Global().dropped(), 0);
+}
+
+TEST_F(ObsTest, TracerBufferIsBoundedAndCountsDrops) {
+  constexpr std::size_t kExtra = 100;
+  for (std::size_t i = 0; i < obs::Tracer::kMaxSpans + kExtra; ++i) {
+    obs::Span s("flood");
+  }
+#if DPCOPULA_OBS_ENABLED
+  EXPECT_EQ(obs::Tracer::Global().Snapshot().size(), obs::Tracer::kMaxSpans);
+  EXPECT_EQ(obs::Tracer::Global().dropped(),
+            static_cast<std::int64_t>(kExtra));
+  // The overflow also surfaces as a metric so dashboards see it without
+  // walking the span buffer.
+  obs::Counter* dropped_counter =
+      obs::MetricsRegistry::Global().GetCounter("trace.spans_dropped");
+  EXPECT_EQ(dropped_counter->Value(), static_cast<std::int64_t>(kExtra));
+  // Reset drains the buffer; new spans record again.
+  obs::Tracer::Global().Reset();
+  { obs::Span s("after_reset"); }
+  EXPECT_EQ(obs::Tracer::Global().Snapshot().size(), 1u);
+  EXPECT_EQ(obs::Tracer::Global().dropped(), 0);
+#else
+  EXPECT_TRUE(obs::Tracer::Global().Snapshot().empty());
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace exporter.
+
+obs::SpanRecord MakeSpan(obs::SpanId id, obs::SpanId parent,
+                         const std::string& name, std::int64_t start_ns,
+                         std::int64_t duration_ns, int thread_index) {
+  obs::SpanRecord r;
+  r.id = id;
+  r.parent = parent;
+  r.name = name;
+  r.start_ns = start_ns;
+  r.duration_ns = duration_ns;
+  r.thread_index = thread_index;
+  return r;
+}
+
+TEST_F(ObsTest, ChromeTraceRendersWellFormedCompleteEvents) {
+  std::vector<obs::SpanRecord> spans;
+  spans.push_back(MakeSpan(1, obs::kNoSpan, "synthesize", 1000, 900000, 0));
+  spans.push_back(MakeSpan(2, 1, "margins", 2500, 10000, 0));
+  spans.push_back(MakeSpan(3, 1, "sampling", 20000, 800500, 2));
+  const std::string json = obs::RenderChromeTraceJson(spans, 7);
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json.substr(0, 400);
+
+  // One "X" (complete) event per span with microsecond ts/dur at
+  // nanosecond precision, pid 1, and the recording thread as tid.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"synthesize\", \"cat\": \"dpcopula\", "
+                      "\"ph\": \"X\", \"ts\": 1.000, \"dur\": 900.000, "
+                      "\"pid\": 1, \"tid\": 0"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ts\": 2.500, \"dur\": 10.000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+  // Parent linkage travels in args for tooling that reconstructs the tree.
+  EXPECT_NE(json.find("\"args\": {\"id\": 2, \"parent\": 1}"),
+            std::string::npos);
+  // Metadata events name the process and each thread track.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread-2\""), std::string::npos);
+  // The drop count is surfaced in otherData (as a string, per the format).
+  EXPECT_NE(json.find("\"dropped_spans\": \"7\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceNestedSpansStayContained) {
+  { 
+    obs::Span outer("outer");
+    obs::Span inner("inner");
+    (void)outer;
+    (void)inner;
+  }
+#if DPCOPULA_OBS_ENABLED
+  const auto spans = obs::Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const auto& inner =
+      spans[0].name == "inner" ? spans[0] : spans[1];
+  const auto& outer =
+      spans[0].name == "outer" ? spans[0] : spans[1];
+  // Chrome interprets [ts, ts+dur]; the child interval must sit inside the
+  // parent for the render to nest.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+  const std::string json = obs::RenderChromeTraceJson();
+  EXPECT_TRUE(JsonChecker::Valid(json));
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+#endif
+}
+
+TEST_F(ObsTest, ChromeTraceEmptyTraceIsValid) {
+  const std::string json = obs::RenderChromeTraceJson({}, 0);
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\": \"0\""), std::string::npos);
+  // Names with JSON metacharacters must render escaped, not raw.
+  std::vector<obs::SpanRecord> spans;
+  spans.push_back(MakeSpan(1, obs::kNoSpan, "quote\"back\\\\slash", 0, 10, 0));
+  const std::string escaped = obs::RenderChromeTraceJson(spans, 0);
+  EXPECT_TRUE(JsonChecker::Valid(escaped)) << escaped;
 }
 
 // ---------------------------------------------------------------------------

@@ -27,10 +27,17 @@
 //   --model-in PATH     skip fitting: load a saved model and sample from it
 //   --trace-json PATH   write a JSON run report (span tree, metrics, budget
 //                       audit) after the run; also enables tracing/metrics
+//   --trace-chrome PATH write the span timeline in Chrome trace-event JSON
+//                       (load in Perfetto / chrome://tracing); also enables
+//                       tracing
+//   --profile           enable the stage profiler: per-stage latency
+//                       histograms, peak RSS, and hardware counters where
+//                       the kernel allows them (implies metrics)
 //   --log-level LEVEL   trace|debug|info|warn|error|off (default warn)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/rng.h"
@@ -39,7 +46,9 @@
 #include "core/model_io.h"
 #include "data/csv.h"
 #include "obs/log.h"
+#include "obs/profile.h"
 #include "obs/report.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -61,6 +70,8 @@ struct CliArgs {
   std::string model_out;
   std::string model_in;
   std::string trace_json;
+  std::string trace_chrome;
+  bool profile = false;
   std::string log_level = "warn";
 };
 
@@ -85,7 +96,8 @@ void Usage(const char* argv0) {
                "[--family gaussian|t|auto] [--t-dof X] [--no-hybrid] "
                "[--rows N] [--oversample X] [--threads N] [--seed N] "
                "[--max-bad-rows N] [--strict-csv] "
-               "[--trace-json PATH] [--log-level LEVEL]\n",
+               "[--trace-json PATH] [--trace-chrome PATH] [--profile] "
+               "[--log-level LEVEL]\n",
                argv0);
 }
 
@@ -159,6 +171,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->trace_json = v;
+    } else if (flag == "--trace-chrome") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_chrome = v;
+    } else if (flag == "--profile") {
+      args->profile = true;
     } else if (flag == "--log-level") {
       const char* v = next();
       if (!v) return false;
@@ -188,15 +206,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown log level '%s'\n", args.log_level.c_str());
     return 2;
   }
-  // --trace-json needs both the span tree and the metrics section.
-  obs_config.trace = !args.trace_json.empty();
+  // --trace-json needs both the span tree and the metrics section;
+  // --trace-chrome only the spans; --profile implies metrics.
+  obs_config.trace = !args.trace_json.empty() || !args.trace_chrome.empty();
   obs_config.metrics = !args.trace_json.empty();
+  obs_config.profile = args.profile;
   obs::SetObsConfig(obs_config);
+
+  // Hardware counters run across the whole process (CSV IO included); the
+  // session is closed before any report is rendered so the profile gauges
+  // it publishes land in them.
+  std::optional<obs::ProfileSession> profile_session;
+  if (args.profile) profile_session.emplace();
 
   // Written after a successful run (nullptr when no accountant exists, e.g.
   // sample-only mode).
   auto write_report = [&](const obs::BudgetAudit* audit) -> bool {
-    if (args.trace_json.empty()) return true;
+    profile_session.reset();
+    bool ok = true;
+    if (!args.trace_chrome.empty()) {
+      Status cs = obs::WriteChromeTrace(args.trace_chrome);
+      if (!cs.ok()) {
+        std::fprintf(stderr, "failed to write chrome trace %s: %s\n",
+                     args.trace_chrome.c_str(), cs.ToString().c_str());
+        ok = false;
+      } else {
+        std::fprintf(stderr, "chrome trace written to %s\n",
+                     args.trace_chrome.c_str());
+      }
+    }
+    if (args.trace_json.empty()) return ok;
     Status ts = obs::WriteRunReport(args.trace_json, audit);
     if (!ts.ok()) {
       std::fprintf(stderr, "failed to write trace report %s: %s\n",
@@ -205,7 +244,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "trace report written to %s\n",
                  args.trace_json.c_str());
-    return true;
+    return ok;
   };
 
   if (!args.model_in.empty()) {

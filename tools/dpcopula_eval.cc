@@ -8,24 +8,31 @@
 //   dpcopula_eval --original data.csv --synthetic synth.csv [--queries N]
 //                 [--sanity S] [--threads N] [--seed N]
 //                 [--max-bad-rows N] [--strict-csv]
-//                 [--trace-json PATH] [--log-level LEVEL]
+//                 [--trace-json PATH] [--trace-chrome PATH] [--profile]
+//                 [--log-level LEVEL]
 //
 // --threads parallelizes the O(n^2) DCR privacy audit (0 = all hardware
 // threads); the report is identical for every thread count.
 // --max-bad-rows quarantines up to N malformed/non-finite rows per input
 // file (strict by default; --strict-csv forces the default explicitly).
 // --trace-json writes a JSON run report (phase spans + metrics; no budget
-// section — evaluation spends no privacy).
+// section — evaluation spends no privacy). --trace-chrome writes the span
+// timeline in Chrome trace-event JSON (Perfetto / chrome://tracing).
+// --profile enables the stage profiler (per-stage histograms, peak RSS,
+// hardware counters where the kernel allows them).
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "baselines/range_estimator.h"
 #include "common/rng.h"
 #include "data/csv.h"
 #include "obs/log.h"
+#include "obs/profile.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "query/evaluator.h"
 #include "query/fidelity_metrics.h"
 #include "query/privacy_metrics.h"
@@ -43,6 +50,8 @@ struct CliArgs {
   bool strict_csv = false;
   unsigned long long seed = 42;
   std::string trace_json;
+  std::string trace_chrome;
+  bool profile = false;
   std::string log_level = "warn";
 };
 
@@ -86,6 +95,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->trace_json = v;
+    } else if (flag == "--trace-chrome") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_chrome = v;
+    } else if (flag == "--profile") {
+      args->profile = true;
     } else if (flag == "--log-level") {
       const char* v = next();
       if (!v) return false;
@@ -108,7 +123,8 @@ int main(int argc, char** argv) {
                  "usage: %s --original data.csv --synthetic synth.csv "
                  "[--queries N] [--sanity S] [--threads N] [--seed N] "
                  "[--max-bad-rows N] [--strict-csv] "
-                 "[--trace-json PATH] [--log-level LEVEL]\n",
+                 "[--trace-json PATH] [--trace-chrome PATH] [--profile] "
+                 "[--log-level LEVEL]\n",
                  argv[0]);
     return 2;
   }
@@ -118,9 +134,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown log level '%s'\n", args.log_level.c_str());
     return 2;
   }
-  obs_config.trace = !args.trace_json.empty();
+  obs_config.trace = !args.trace_json.empty() || !args.trace_chrome.empty();
   obs_config.metrics = !args.trace_json.empty();
+  obs_config.profile = args.profile;
   obs::SetObsConfig(obs_config);
+
+  // Closed before the reports render so the profile gauges land in them.
+  std::optional<obs::ProfileSession> profile_session;
+  if (args.profile) profile_session.emplace();
 
   const bool tolerant = !args.strict_csv && args.max_bad_rows > 0;
   data::ReadCsvOptions read_options;
@@ -250,6 +271,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  profile_session.reset();
+  if (!args.trace_chrome.empty()) {
+    Status cs = obs::WriteChromeTrace(args.trace_chrome);
+    if (!cs.ok()) {
+      std::fprintf(stderr, "failed to write chrome trace %s: %s\n",
+                   args.trace_chrome.c_str(), cs.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "chrome trace written to %s\n",
+                 args.trace_chrome.c_str());
+  }
   if (!args.trace_json.empty()) {
     // Evaluation spends no privacy budget; the report carries only the
     // span tree and metrics.
