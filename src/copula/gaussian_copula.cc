@@ -137,15 +137,17 @@ struct CorrWorkspace {
   std::vector<std::uint32_t> pb;  // Packed index -> column b.
 };
 
-}  // namespace
-
-Result<linalg::Matrix> NormalScoresCorrelationTiled(const double* const* cols,
-                                                    std::size_t m,
-                                                    std::size_t n) {
+// Shared accumulation core of the tiled kernel: fills ws->mean and the
+// packed upper-triangle covariance accumulators ws->acc (pair p covers
+// columns ws->pa[p] <= ws->pb[p], a-major). Both public wrappers normalize
+// with the exact expressions of the reference implementation, so the
+// per-entry results are bit-identical regardless of the output layout.
+Status TiledCovarianceAccumulate(const double* const* cols, std::size_t m,
+                                 std::size_t n, CorrWorkspace* workspace) {
   if (m == 0) return Status::InvalidArgument("no score columns");
   if (n < 2) return Status::InvalidArgument("need >= 2 rows");
 
-  thread_local CorrWorkspace ws;
+  CorrWorkspace& ws = *workspace;
   ws.mean.assign(m, 0.0);
   ws.acc.assign(m * (m + 1) / 2, 0.0);
   ws.centered.resize(m * kCorrTileRows);
@@ -221,6 +223,18 @@ Result<linalg::Matrix> NormalScoresCorrelationTiled(const double* const* cols,
     }
   }
 
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<linalg::Matrix> NormalScoresCorrelationTiled(const double* const* cols,
+                                                    std::size_t m,
+                                                    std::size_t n) {
+  thread_local CorrWorkspace ws;
+  Status accumulated = TiledCovarianceAccumulate(cols, m, n, &ws);
+  if (!accumulated.ok()) return accumulated;
+
   linalg::Matrix cov(m, m);
   {
     std::size_t p = 0;
@@ -239,6 +253,35 @@ Result<linalg::Matrix> NormalScoresCorrelationTiled(const double* const* cols,
       corr(a, b) = (denom > 0.0) ? cov(a, b) / denom : (a == b ? 1.0 : 0.0);
     }
     corr(a, a) = 1.0;
+  }
+  return corr;
+}
+
+Result<linalg::PackedSymmetric> NormalScoresCorrelationTiledPacked(
+    const double* const* cols, std::size_t m, std::size_t n) {
+  thread_local CorrWorkspace ws;
+  Status accumulated = TiledCovarianceAccumulate(cols, m, n, &ws);
+  if (!accumulated.ok()) return accumulated;
+
+  // Diagonal covariance entries: pair (a, a) sits at the head of column
+  // a's run in the a-major packed upper triangle.
+  std::vector<double> cov_diag(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    cov_diag[a] = ws.acc[a * m - a * (a - 1) / 2];
+  }
+  // Normalize straight into packed storage — one store per coefficient,
+  // same expressions (and bits) as the dense wrapper above.
+  linalg::PackedSymmetric corr(m);
+  std::size_t p = 0;
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a; b < m; ++b, ++p) {
+      if (a == b) {
+        corr.at(a, a) = 1.0;
+        continue;
+      }
+      const double denom = std::sqrt(cov_diag[a] * cov_diag[b]);
+      corr.at(b, a) = (denom > 0.0) ? ws.acc[p] / denom : 0.0;
+    }
   }
   return corr;
 }

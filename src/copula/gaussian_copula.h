@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "linalg/matrix.h"
+#include "linalg/packed_symmetric.h"
 
 namespace dpcopula::copula {
 
@@ -64,6 +65,15 @@ Result<linalg::Matrix> NormalScoresCorrelation(
 Result<linalg::Matrix> NormalScoresCorrelationTiled(const double* const* cols,
                                                     std::size_t m,
                                                     std::size_t n);
+
+/// The tiled estimator emitting packed lower-triangular storage directly —
+/// the kernel's pair accumulators are already one-per-coefficient, so the
+/// packed form halves the output memory traffic (no mirror writes). Entry
+/// for entry bit-identical to NormalScoresCorrelationTiled (and therefore
+/// to NormalScoresCorrelation) on the same data; used by the MLE
+/// estimator's partition-fit averaging.
+Result<linalg::PackedSymmetric> NormalScoresCorrelationTiledPacked(
+    const double* const* cols, std::size_t m, std::size_t n);
 
 }  // namespace dpcopula::copula
 

@@ -11,6 +11,7 @@
 #include "common/failpoint.h"
 #include "common/parallel.h"
 #include "linalg/cholesky.h"
+#include "linalg/packed_symmetric.h"
 #include "linalg/psd_repair.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -236,12 +237,15 @@ Result<KendallEstimate> EstimateKendallCorrelation(
   pairs_counter->Add(static_cast<std::int64_t>(pairs.size()));
   contingency_counter->Add(contingency_pairs);
 
-  linalg::Matrix p(m, m);
-  for (std::size_t j = 0; j < m; ++j) p(j, j) = 1.0;
+  // Accumulate the correlation build in packed lower-triangular form —
+  // one store per coefficient instead of a mirrored pair — and expand to
+  // dense form once, at the PSD-repair boundary.
+  linalg::PackedSymmetric packed(m);
+  for (std::size_t j = 0; j < m; ++j) packed.at(j, j) = 1.0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    p(pairs[i].j, pairs[i].k) = rhos[i];
-    p(pairs[i].k, pairs[i].j) = rhos[i];
+    packed.at(pairs[i].k, pairs[i].j) = rhos[i];  // Pairs have j < k.
   }
+  linalg::Matrix p = packed.ToMatrix();
 
   KendallEstimate est;
   est.rows_used = n_used;
@@ -252,8 +256,11 @@ Result<KendallEstimate> EstimateKendallCorrelation(
   {
     obs::Span repair_span("psd_repair");
     if (est.repaired) repairs_counter->Increment();
+    linalg::PsdRepairOptions repair_options;
+    repair_options.eigen_kernel = options.eigen_kernel;
+    repair_options.num_threads = options.num_threads;
     DPC_ASSIGN_OR_RETURN(est.correlation,
-                         linalg::EnsureCorrelationMatrix(p));
+                         linalg::EnsureCorrelationMatrix(p, repair_options));
   }
   return est;
 }

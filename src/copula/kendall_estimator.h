@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/table.h"
+#include "linalg/eigen_sym.h"
 #include "linalg/matrix.h"
 #include "stats/kendall.h"
 
@@ -36,6 +37,12 @@ struct KendallEstimatorOptions {
   /// bit-identical noisy output (the exact taus and the per-pair noise
   /// streams agree).
   stats::TauKernel kernel = stats::TauKernel::kRankCache;
+
+  /// Eigensolver kernel for the PSD-repair step (see linalg::EigenKernel).
+  /// kTridiagQL is the high-dimension production path; kJacobi is the
+  /// verbatim legacy solver kept for agreement tests. The repair also
+  /// inherits `num_threads` above.
+  linalg::EigenKernel eigen_kernel = linalg::EigenKernel::kTridiagQL;
 };
 
 /// Diagnostics reported alongside the private correlation matrix.

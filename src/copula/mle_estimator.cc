@@ -13,6 +13,7 @@
 #include "copula/gaussian_copula.h"
 #include "copula/pseudo_obs.h"
 #include "linalg/cholesky.h"
+#include "linalg/packed_symmetric.h"
 #include "linalg/psd_repair.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -377,9 +378,12 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   // order so the floating-point sum — and thus the released matrix — is
   // identical for every thread count.
   const obs::SpanId estimate_span_id = estimate_span.id();
-  std::vector<Result<linalg::Matrix>> fits(
+  // Per-partition fits are held (and averaged) in packed lower-triangular
+  // form: one stored entry per coefficient, so the l-way accumulation pass
+  // below touches half the memory of the dense mirror-writing layout.
+  std::vector<Result<linalg::PackedSymmetric>> fits(
       static_cast<std::size_t>(l),
-      Result<linalg::Matrix>(Status::Internal("partition not fitted")));
+      Result<linalg::PackedSymmetric>(Status::Internal("partition not fitted")));
   std::vector<double> scores;  // kBatched: column-major normal scores.
 
   if (options.kernel == MleKernel::kLegacy) {
@@ -414,7 +418,12 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
               continue;
             }
             const auto scores_l = NormalScores(*pseudo);
-            fits[ti] = NormalScoresCorrelation(scores_l);
+            Result<linalg::Matrix> fit = NormalScoresCorrelation(scores_l);
+            fits[ti] =
+                fit.ok() ? Result<linalg::PackedSymmetric>(
+                               linalg::PackedSymmetric::FromLowerTriangleOf(
+                                   *fit))
+                         : Result<linalg::PackedSymmetric>(fit.status());
           }
         },
         options.num_threads);
@@ -480,7 +489,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
               ptrs[j] = scores.data() + j * rows_used +
                         ti * static_cast<std::size_t>(b);
             }
-            fits[ti] = NormalScoresCorrelationTiled(
+            fits[ti] = NormalScoresCorrelationTiledPacked(
                 ptrs.data(), m, static_cast<std::size_t>(b));
           }
         },
@@ -495,7 +504,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   // notionally spent on failed partitions is charged, never refunded.
   static obs::Counter* const fit_failures_counter =
       obs::MetricsRegistry::Global().GetCounter("mle.partition_fit_failures");
-  linalg::Matrix avg(m, m);
+  linalg::PackedSymmetric avg(m);
   std::int64_t survivors = 0;
   std::int64_t failed = 0;
   Status first_failure = Status::OK();
@@ -518,7 +527,7 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   if (survivors == 0 || failed > options.max_failed_partitions) {
     return first_failure;  // Fail closed: nothing released.
   }
-  avg = avg.Scaled(1.0 / static_cast<double>(survivors));
+  avg.ScaleInPlace(1.0 / static_cast<double>(survivors));
 
   // Algorithm 2 step 3: Laplace noise with scale C(m,2) * Lambda / (l_s *
   // epsilon2), Lambda = 2 (diameter of [-1, 1]). Averaging over l_s disjoint
@@ -528,16 +537,18 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   const double scale =
       num_pairs * kLambda / (static_cast<double>(survivors) * epsilon2);
 
-  linalg::Matrix p(m, m);
-  for (std::size_t j = 0; j < m; ++j) p(j, j) = 1.0;
+  // The noisy matrix is likewise built packed — one store per coefficient
+  // — and expanded to dense form once, at the PSD-repair boundary.
+  linalg::PackedSymmetric noisy_packed(m);
+  for (std::size_t j = 0; j < m; ++j) noisy_packed.at(j, j) = 1.0;
   for (std::size_t j = 0; j < m; ++j) {
     for (std::size_t k = j + 1; k < m; ++k) {
       double noisy = avg(j, k) + stats::SampleLaplace(rng, scale);
       noisy = std::clamp(noisy, -1.0, 1.0);
-      p(j, k) = noisy;
-      p(k, j) = noisy;
+      noisy_packed.at(k, j) = noisy;
     }
   }
+  linalg::Matrix p = noisy_packed.ToMatrix();
 
   MleEstimate est;
   est.num_partitions = l;
@@ -549,8 +560,11 @@ Result<MleEstimate> EstimateMleCorrelation(const data::Table& table,
   {
     obs::Span repair_span("psd_repair");
     if (est.repaired) repairs_counter->Increment();
+    linalg::PsdRepairOptions repair_options;
+    repair_options.eigen_kernel = options.eigen_kernel;
+    repair_options.num_threads = options.num_threads;
     DPC_ASSIGN_OR_RETURN(est.correlation,
-                         linalg::EnsureCorrelationMatrix(p));
+                         linalg::EnsureCorrelationMatrix(p, repair_options));
   }
   return est;
 }

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/table.h"
+#include "linalg/eigen_sym.h"
 #include "linalg/matrix.h"
 
 namespace dpcopula::copula {
@@ -71,6 +72,12 @@ struct MleEstimatorOptions {
   /// Partition-fit kernel; both produce bit-identical released matrices on
   /// the same data (see MleKernel).
   MleKernel kernel = MleKernel::kBatched;
+
+  /// Eigensolver kernel for the PSD-repair step (see linalg::EigenKernel).
+  /// kTridiagQL is the high-dimension production path; kJacobi is the
+  /// verbatim legacy solver kept for agreement tests. The repair also
+  /// inherits `num_threads` above.
+  linalg::EigenKernel eigen_kernel = linalg::EigenKernel::kTridiagQL;
 };
 
 /// Diagnostics reported alongside the private correlation matrix.

@@ -38,9 +38,24 @@ Result<Matrix> CholeskyDecompose(const Matrix& a) {
 
 Result<std::vector<double>> CholeskySolve(const Matrix& l,
                                           const std::vector<double>& b) {
+  if (l.rows() != l.cols()) {
+    return Status::InvalidArgument("CholeskySolve requires a square factor");
+  }
   const std::size_t n = l.rows();
   if (b.size() != n) {
     return Status::InvalidArgument("CholeskySolve: size mismatch");
+  }
+  // A valid Cholesky factor has finite nonzero pivots; dividing by a bad
+  // one would silently propagate inf/NaN into every downstream release.
+  // The pivot *value* is data-derived and stays out of the message; the
+  // index is structural and safe.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pivot = l(i, i);
+    if (pivot == 0.0 || !std::isfinite(pivot)) {
+      return Status::NumericalError(
+          "CholeskySolve: zero or non-finite pivot (index " +
+          std::to_string(i) + ")");
+    }
   }
   // Forward substitution: L y = b.
   std::vector<double> y(n);
@@ -60,6 +75,10 @@ Result<std::vector<double>> CholeskySolve(const Matrix& l,
 }
 
 Result<Matrix> CholeskyInverse(const Matrix& l) {
+  if (l.rows() != l.cols()) {
+    return Status::InvalidArgument(
+        "CholeskyInverse requires a square factor");
+  }
   const std::size_t n = l.rows();
   Matrix inv(n, n);
   std::vector<double> e(n, 0.0);

@@ -19,30 +19,50 @@ double OffDiagonalNorm(const Matrix& d) {
   return std::sqrt(off);
 }
 
+double FrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * a(i, j);
+  return std::sqrt(acc);
+}
+
 }  // namespace
 
-Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
-                                    double tol) {
-  if (a.rows() != a.cols()) {
-    return Status::InvalidArgument("EigenSym requires a square matrix");
+namespace internal {
+
+void SortEigenpairsDescending(EigenDecomposition* ed) {
+  const std::size_t n = ed->values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return ed->values[i] > ed->values[j];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = ed->values[order[j]];
+    for (std::size_t i = 0; i < n; ++i)
+      sorted_vectors(i, j) = ed->vectors(i, order[j]);
   }
-  if (!a.IsSymmetric(1e-9)) {
-    return Status::InvalidArgument("EigenSym requires a symmetric matrix");
-  }
-  // This site simulates the sweep budget running out, so it surfaces as the
-  // same NumericalError real non-convergence produces — that is what lets
-  // the fault exercise callers' retry policies (psd_repair shrinkage).
-  if (DPC_FAILPOINT("linalg.eigen.converge")) {
-    return Status::NumericalError(
-        "injected fault at fail point 'linalg.eigen.converge'");
-  }
+  ed->values = std::move(sorted_values);
+  ed->vectors = std::move(sorted_vectors);
+}
+
+Result<EigenDecomposition> EigenSymJacobi(const Matrix& a, int max_sweeps,
+                                          double tol) {
   const std::size_t n = a.rows();
   Matrix d = a;  // Will be driven to diagonal form.
   Matrix v = Matrix::Identity(n);
+  // Convergence is declared when the off-diagonal mass is small *relative*
+  // to the matrix itself. (The pre-PR-9 absolute test `<= tol` stopped
+  // scaling with the input: at m >~ 100 the initial off-diagonal norm is
+  // O(m) and round-off alone floors near eps * ||A||_F, so badly scaled
+  // input burned the whole sweep budget and failed spuriously.)
+  const double threshold = tol * FrobeniusNorm(a);
 
   bool converged = false;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    if (OffDiagonalNorm(d) <= tol) {
+    if (OffDiagonalNorm(d) <= threshold) {
       converged = true;
       break;
     }
@@ -84,7 +104,7 @@ Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
   }
   // The loop tests convergence *before* each sweep, so after exhausting
   // max_sweeps the final sweep's result still needs checking.
-  if (!converged && OffDiagonalNorm(d) > tol) {
+  if (!converged && OffDiagonalNorm(d) > threshold) {
     return Status::NumericalError(
         "EigenSym did not converge within " + std::to_string(max_sweeps) +
         " Jacobi sweeps");
@@ -93,22 +113,42 @@ Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
   EigenDecomposition ed;
   ed.values.resize(n);
   for (std::size_t i = 0; i < n; ++i) ed.values[i] = d(i, i);
-
-  // Sort eigenpairs by descending eigenvalue.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
-    return ed.values[i] > ed.values[j];
-  });
-  std::vector<double> sorted_values(n);
-  Matrix sorted_vectors(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    sorted_values[j] = ed.values[order[j]];
-    for (std::size_t i = 0; i < n; ++i) sorted_vectors(i, j) = v(i, order[j]);
-  }
-  ed.values = std::move(sorted_values);
-  ed.vectors = std::move(sorted_vectors);
+  ed.vectors = std::move(v);
+  SortEigenpairsDescending(&ed);
   return ed;
+}
+
+}  // namespace internal
+
+Result<EigenDecomposition> EigenSym(const Matrix& a,
+                                    const EigenSymOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("EigenSym requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("EigenSym requires a symmetric matrix");
+  }
+  // This site simulates the iteration budget running out, so it surfaces as
+  // the same NumericalError real non-convergence produces — that is what
+  // lets the fault exercise callers' retry policies (psd_repair shrinkage).
+  // Both kernels share the site: flipping EigenKernel never changes which
+  // faults can fire.
+  if (DPC_FAILPOINT("linalg.eigen.converge")) {
+    return Status::NumericalError(
+        "injected fault at fail point 'linalg.eigen.converge'");
+  }
+  return options.kernel == EigenKernel::kJacobi
+             ? internal::EigenSymJacobi(a, options.max_sweeps, options.tol)
+             : internal::EigenSymTridiagQL(a, options);
+}
+
+Result<EigenDecomposition> EigenSym(const Matrix& a, int max_sweeps,
+                                    double tol) {
+  EigenSymOptions options;
+  options.kernel = EigenKernel::kJacobi;
+  options.max_sweeps = max_sweeps;
+  options.tol = tol;
+  return EigenSym(a, options);
 }
 
 Matrix EigenReconstruct(const EigenDecomposition& ed) {

@@ -1,0 +1,38 @@
+#include "linalg/packed_symmetric.h"
+
+#include <cassert>
+
+namespace dpcopula::linalg {
+
+void PackedSymmetric::AddInPlace(const PackedSymmetric& other) {
+  assert(other.n_ == n_);
+  for (std::size_t p = 0; p < data_.size(); ++p) data_[p] += other.data_[p];
+}
+
+void PackedSymmetric::ScaleInPlace(double s) {
+  for (double& v : data_) v *= s;
+}
+
+PackedSymmetric PackedSymmetric::FromLowerTriangleOf(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  PackedSymmetric packed(a.rows());
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j, ++p) packed.data_[p] = a(i, j);
+  }
+  return packed;
+}
+
+Matrix PackedSymmetric::ToMatrix() const {
+  Matrix a(n_, n_);
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j, ++p) {
+      a(i, j) = data_[p];
+      a(j, i) = data_[p];
+    }
+  }
+  return a;
+}
+
+}  // namespace dpcopula::linalg

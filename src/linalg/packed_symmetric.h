@@ -1,0 +1,63 @@
+#ifndef DPCOPULA_LINALG_PACKED_SYMMETRIC_H_
+#define DPCOPULA_LINALG_PACKED_SYMMETRIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpcopula::linalg {
+
+/// Packed lower-triangular storage of a symmetric n x n matrix: the
+/// n(n+1)/2 entries (i, j) with i >= j, row by row, entry (i, j) at
+/// data[i(i+1)/2 + j]. The estimators accumulate their m x m correlation
+/// builds in this layout — each logical entry is stored exactly once, so
+/// accumulation passes (the per-partition AddInPlace of the MLE average,
+/// the pairwise rho scatter of the Kendall build) touch half the memory of
+/// the dense mirror-writing form. Expansion to a dense Matrix happens once,
+/// at the PSD-repair boundary.
+class PackedSymmetric {
+ public:
+  PackedSymmetric() = default;
+  explicit PackedSymmetric(std::size_t n)
+      : n_(n), data_(n * (n + 1) / 2, 0.0) {}
+
+  std::size_t dim() const { return n_; }
+
+  /// The stored (lower-triangle) entry; requires i >= j.
+  double& at(std::size_t i, std::size_t j) { return data_[Index(i, j)]; }
+  double at(std::size_t i, std::size_t j) const { return data_[Index(i, j)]; }
+
+  /// Symmetric read: (i, j) and (j, i) resolve to the same entry.
+  double operator()(std::size_t i, std::size_t j) const {
+    return i >= j ? data_[Index(i, j)] : data_[Index(j, i)];
+  }
+
+  /// this += other, entry by entry in storage order (one fixed addition
+  /// sequence per logical entry — what keeps the MLE's released matrix
+  /// bit-identical to the dense accumulation it replaced).
+  void AddInPlace(const PackedSymmetric& other);
+
+  /// this *= s, entry by entry.
+  void ScaleInPlace(double s);
+
+  /// Packs the lower triangle (incl. diagonal) of a square matrix.
+  static PackedSymmetric FromLowerTriangleOf(const Matrix& a);
+
+  /// Expands to the full dense symmetric matrix.
+  Matrix ToMatrix() const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  static std::size_t Index(std::size_t i, std::size_t j) {
+    return i * (i + 1) / 2 + j;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dpcopula::linalg
+
+#endif  // DPCOPULA_LINALG_PACKED_SYMMETRIC_H_

@@ -15,12 +15,28 @@ namespace dpcopula::linalg {
 namespace {
 
 // Rescales a symmetric PSD matrix to unit diagonal and clamps off-diagonal
-// entries into [-1, 1].
-void NormalizeToCorrelation(Matrix* a) {
+// entries into [-1, 1]. A lifted spectrum makes every reconstructed
+// diagonal entry >= min_eigenvalue, so a non-positive (or non-finite) one
+// means the reconstruction itself broke down; the pre-PR-9 behavior —
+// divide that row by 1.0 and let the [-1, 1] clamp silently distort its
+// correlations — released a structurally wrong matrix. Fail closed
+// instead. The diagonal *value* is data-derived and stays out of the
+// message; the row index is structural.
+Status NormalizeToCorrelation(Matrix* a) {
+  static obs::Counter* const normalize_failures =
+      obs::MetricsRegistry::Global().GetCounter(
+          "linalg.psd_normalize_failures");
   const std::size_t n = a->rows();
   std::vector<double> d(n);
   for (std::size_t i = 0; i < n; ++i) {
-    d[i] = ((*a)(i, i) > 0.0) ? std::sqrt((*a)(i, i)) : 1.0;
+    const double diag = (*a)(i, i);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      normalize_failures->Increment();
+      return Status::NumericalError(
+          "PSD repair: non-positive diagonal after eigenvalue lift (row " +
+          std::to_string(i) + ")");
+    }
+    d[i] = std::sqrt(diag);
   }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -34,6 +50,7 @@ void NormalizeToCorrelation(Matrix* a) {
     }
   }
   Symmetrize(a);
+  return Status::OK();
 }
 
 }  // namespace
@@ -45,7 +62,10 @@ Result<Matrix> RepairToCorrelation(const Matrix& a,
   if (DPC_FAILPOINT("linalg.psd_repair")) {
     return failpoint::InjectedFault("linalg.psd_repair");
   }
-  Result<EigenDecomposition> decomp = EigenSym(a);
+  EigenSymOptions eigen_options;
+  eigen_options.kernel = options.eigen_kernel;
+  eigen_options.num_threads = options.num_threads;
+  Result<EigenDecomposition> decomp = EigenSym(a, eigen_options);
   if (!decomp.ok() &&
       decomp.status().code() == StatusCode::kNumericalError) {
     // Recovery policy: one retry after diagonal shrinkage toward the
@@ -62,7 +82,7 @@ Result<Matrix> RepairToCorrelation(const Matrix& a,
     constexpr double kShrink = 0.05;
     const Matrix shrunk =
         a.Scaled(1.0 - kShrink) + Matrix::Identity(a.rows()).Scaled(kShrink);
-    decomp = EigenSym(shrunk);
+    decomp = EigenSym(shrunk, eigen_options);
   }
   DPC_ASSIGN_OR_RETURN(EigenDecomposition ed, std::move(decomp));
   for (double& lambda : ed.values) {
@@ -73,7 +93,10 @@ Result<Matrix> RepairToCorrelation(const Matrix& a,
     }
   }
   Matrix repaired = EigenReconstruct(ed);
-  NormalizeToCorrelation(&repaired);
+  {
+    Status normalized = NormalizeToCorrelation(&repaired);
+    if (!normalized.ok()) return normalized;
+  }
   // The clamp/renormalize can in principle reintroduce a tiny negative
   // eigenvalue; nudge the diagonal until Cholesky succeeds.
   double jitter = options.min_eigenvalue;

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
 
 #include "common/rng.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/matrix.h"
+#include "linalg/packed_symmetric.h"
 #include "linalg/psd_repair.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace dpcopula::linalg {
 namespace {
@@ -328,6 +334,159 @@ TEST_P(PsdRepairRandomTest, RandomNoisyMatricesAlwaysRepairable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PsdRepairRandomTest,
                          ::testing::Range(1, 21));
+
+// ---------------------------------------------------------------------------
+// PR 9 bugfix regressions.
+
+// EigenSym's convergence test used to compare the off-diagonal norm to an
+// *absolute* 1e-13: for badly scaled input the round-off floor sits at
+// eps * ||A||_F and the absolute target is unreachable, so the solver
+// burned the whole sweep budget and failed spuriously. The tolerance is
+// now relative to ||A||_F.
+TEST(EigenSymTest, RelativeToleranceConvergesAtM200LargeScale) {
+  Rng rng(0x5ca1ab1e);
+  const std::size_t m = 200;
+  const Matrix scaled = RandomCorrelation(m, &rng).Scaled(1e8);
+  auto ed = EigenSym(scaled, /*max_sweeps=*/64);  // Legacy Jacobi overload.
+  ASSERT_TRUE(ed.ok()) << ed.status().message();
+  // Reconstruction error small relative to the 1e8 scale.
+  EXPECT_LT(EigenReconstruct(*ed).MaxAbsDiff(scaled), 1e-4);
+  // The production kernel handles the same input.
+  auto ql = EigenSym(scaled);
+  ASSERT_TRUE(ql.ok()) << ql.status().message();
+  for (std::size_t k = 0; k < m; ++k) {
+    EXPECT_NEAR(ql->values[k], ed->values[k], 1e-4) << "k=" << k;
+  }
+}
+
+// CholeskySolve/CholeskyInverse used to divide by l(i, i) unguarded: a bad
+// factor silently yielded inf/NaN instead of a data-independent error.
+TEST(CholeskyTest, SolveRejectsNonSquareFactor) {
+  Matrix l(2, 3);
+  auto x = CholeskySolve(l, {1.0, 2.0});
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, SolveRejectsZeroPivot) {
+  Matrix l = Matrix::FromRows({{1.0, 0.0}, {0.5, 0.0}});
+  auto x = CholeskySolve(l, {1.0, 2.0});
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+  // Data-independent message: the pivot index is structural, the value
+  // never appears.
+  EXPECT_NE(x.status().message().find("pivot (index 1)"), std::string::npos);
+  EXPECT_EQ(x.status().message().find("0.5"), std::string::npos);
+}
+
+TEST(CholeskyTest, SolveRejectsNonFinitePivot) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf}) {
+    Matrix l = Matrix::FromRows({{bad, 0.0}, {0.5, 1.0}});
+    auto x = CholeskySolve(l, {1.0, 2.0});
+    ASSERT_FALSE(x.ok());
+    EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+  }
+}
+
+TEST(CholeskyTest, InverseRejectsNonSquareAndBadPivot) {
+  Matrix rect(2, 3);
+  EXPECT_EQ(CholeskyInverse(rect).status().code(),
+            StatusCode::kInvalidArgument);
+  Matrix l = Matrix::FromRows({{1.0, 0.0}, {0.5, 0.0}});
+  auto inv = CholeskyInverse(l);
+  ASSERT_FALSE(inv.ok());
+  EXPECT_EQ(inv.status().code(), StatusCode::kNumericalError);
+}
+
+// NormalizeToCorrelation used to map a non-positive reconstructed diagonal
+// to divisor 1.0, leaving that row/column unscaled so the [-1, 1] clamp
+// silently distorted correlations. It now fails closed (counted in
+// linalg.psd_normalize_failures).
+TEST(PsdRepairTest, NonPositiveDiagonalAfterLiftFailsClosed) {
+  obs::ObsConfig config;
+  config.metrics = true;
+  obs::SetObsConfig(config);
+  static obs::Counter* const failures =
+      obs::MetricsRegistry::Global().GetCounter(
+          "linalg.psd_normalize_failures");
+  // diag(1, 1, -1) with the negative eigenvalue lifted to exactly 0
+  // reconstructs to diag(1, 1, 0): a structurally degenerate row the old
+  // normalization silently "fixed" into an identity block.
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = -1.0;
+  PsdRepairOptions options;
+  options.min_eigenvalue = 0.0;
+  for (const EigenKernel kernel :
+       {EigenKernel::kTridiagQL, EigenKernel::kJacobi}) {
+    options.eigen_kernel = kernel;
+    const std::int64_t before = failures->Value();
+    auto repaired = RepairToCorrelation(a, options);
+    ASSERT_FALSE(repaired.ok());
+    EXPECT_EQ(repaired.status().code(), StatusCode::kNumericalError);
+    EXPECT_NE(repaired.status().message().find("non-positive diagonal"),
+              std::string::npos);
+    if (DPCOPULA_OBS_ENABLED != 0) {
+      EXPECT_EQ(failures->Value(), before + 1);
+    }
+  }
+  obs::SetObsConfig(obs::ObsConfig{});
+}
+
+// With the default min_eigenvalue the same input must still repair fine —
+// the fail-closed path is strictly a breakdown detector.
+TEST(PsdRepairTest, DefaultLiftStillRepairsNegativeDiagonal) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = -1.0;
+  auto repaired = RepairToCorrelation(a);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().message();
+  EXPECT_TRUE(IsPositiveDefinite(*repaired));
+}
+
+// ---------------------------------------------------------------------------
+// PackedSymmetric: the estimators' accumulation layout.
+
+TEST(PackedSymmetricTest, RoundTripsAndMirrorsReads) {
+  Rng rng(77);
+  const Matrix a = RandomCorrelation(7, &rng);
+  PackedSymmetric packed = PackedSymmetric::FromLowerTriangleOf(a);
+  EXPECT_EQ(packed.dim(), 7u);
+  EXPECT_EQ(packed.data().size(), 7u * 8u / 2u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_EQ(packed(i, j), a(i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(packed.ToMatrix().MaxAbsDiff(a), 0.0);
+}
+
+TEST(PackedSymmetricTest, AddAndScaleMatchDense) {
+  Rng rng(78);
+  const Matrix a = RandomCorrelation(6, &rng);
+  const Matrix b = RandomCorrelation(6, &rng);
+  PackedSymmetric acc = PackedSymmetric::FromLowerTriangleOf(a);
+  acc.AddInPlace(PackedSymmetric::FromLowerTriangleOf(b));
+  acc.ScaleInPlace(0.5);
+  Matrix dense = a;
+  dense.AddInPlace(b);
+  dense = dense.Scaled(0.5);
+  EXPECT_EQ(acc.ToMatrix().MaxAbsDiff(dense), 0.0);
+}
+
+TEST(PackedSymmetricTest, AtWritesLowerTriangle) {
+  PackedSymmetric p(3);
+  p.at(0, 0) = 1.0;
+  p.at(1, 1) = 1.0;
+  p.at(2, 2) = 1.0;
+  p.at(2, 0) = 0.25;
+  EXPECT_EQ(p(0, 2), 0.25);
+  EXPECT_EQ(p(2, 0), 0.25);
+  EXPECT_EQ(p(1, 0), 0.0);
+}
 
 }  // namespace
 }  // namespace dpcopula::linalg

@@ -192,6 +192,33 @@ TEST(TiledCorrelationTest, MatchesReferenceBitwise) {
   }
 }
 
+TEST(TiledCorrelationTest, PackedOutputMatchesDenseBitwise) {
+  // The packed-emitting variant feeds the MLE partition average; every
+  // stored coefficient must carry the exact bits of the dense wrapper.
+  Rng rng(304);
+  for (const std::size_t n : {2u, 255u, 1000u}) {
+    for (const std::size_t m : {2u, 5u, 9u}) {
+      std::vector<std::vector<double>> scores(m, std::vector<double>(n));
+      for (auto& col : scores) {
+        for (auto& v : col) v = rng.NextGaussian();
+      }
+      std::vector<const double*> ptrs(m);
+      for (std::size_t j = 0; j < m; ++j) ptrs[j] = scores[j].data();
+      auto dense = NormalScoresCorrelationTiled(ptrs.data(), m, n);
+      auto packed =
+          copula::NormalScoresCorrelationTiledPacked(ptrs.data(), m, n);
+      ASSERT_TRUE(dense.ok());
+      ASSERT_TRUE(packed.ok());
+      ExpectMatricesIdentical(*dense, packed->ToMatrix());
+    }
+  }
+  std::vector<const double*> ptrs(2, nullptr);
+  EXPECT_FALSE(
+      copula::NormalScoresCorrelationTiledPacked(ptrs.data(), 0, 3).ok());
+  EXPECT_FALSE(
+      copula::NormalScoresCorrelationTiledPacked(ptrs.data(), 2, 1).ok());
+}
+
 TEST(TiledCorrelationTest, DegenerateColumnsAndValidation) {
   // A constant column has zero variance; the reference zeroes its
   // off-diagonal correlations and keeps the unit diagonal.
