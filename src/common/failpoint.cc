@@ -199,6 +199,9 @@ std::vector<std::string> KnownSites() {
       "model.load.open",             // core/model_io.cc
       "parallel.dispatch",           // common/parallel.cc
       "sampler.row",                 // copula/sampler.cc
+      "serve.accept",                // serve/server.cc
+      "serve.model_reload",          // serve/registry.cc
+      "serve.sample",                // serve/server.cc
       "streaming.ingest.merge",      // core/streaming.cc
   };
 }

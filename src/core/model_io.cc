@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -88,7 +89,8 @@ Status ParseError(const std::string& what) {
 
 }  // namespace
 
-Result<DpCopulaModel> LoadModel(const std::string& path) {
+Result<DpCopulaModel> LoadModel(const std::string& path,
+                                const LoadModelOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
   if (DPC_FAILPOINT("model.load.open")) {
@@ -130,6 +132,12 @@ Result<DpCopulaModel> LoadModel(const std::string& path) {
   if (!(in >> token >> model.t_dof) || token != "t_dof") {
     return ParseError("t_dof");
   }
+  // Non-finite dof fails closed for *both* families: the Gaussian family
+  // ignores t_dof when sampling, but a NaN here means the file is corrupt
+  // and nothing else in it can be trusted.
+  if (!std::isfinite(model.t_dof)) {
+    return ParseError("non-finite t_dof");
+  }
   if (model.family == CopulaFamily::kStudentT && !(model.t_dof > 0.0)) {
     return ParseError("student-t family requires positive dof");
   }
@@ -150,7 +158,8 @@ Result<DpCopulaModel> LoadModel(const std::string& path) {
     }
     model.marginal_counts[j].resize(size);
     for (std::size_t v = 0; v < size; ++v) {
-      if (!(in >> model.marginal_counts[j][v])) {
+      if (!(in >> model.marginal_counts[j][v]) ||
+          !std::isfinite(model.marginal_counts[j][v])) {
         return ParseError("margin values " + std::to_string(j));
       }
     }
@@ -163,9 +172,20 @@ Result<DpCopulaModel> LoadModel(const std::string& path) {
   model.correlation = linalg::Matrix(m, m);
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
-      if (!(in >> model.correlation(i, j))) {
+      if (!(in >> model.correlation(i, j)) ||
+          !std::isfinite(model.correlation(i, j))) {
         return ParseError("correlation values");
       }
+    }
+  }
+  // The correlation block is the last section of a model file: any further
+  // non-whitespace bytes mean the file is corrupt (appended garbage, a
+  // doubled write, or a streaming-state file loaded through the wrong
+  // entry point) and the load fails closed.
+  if (!options.allow_trailing) {
+    std::string trailing;
+    if (in >> trailing) {
+      return ParseError("trailing data after correlation block");
     }
   }
   // Validate (and gently repair round-tripped) correlation matrices.

@@ -53,8 +53,21 @@ Status SerializeModel(const DpCopulaModel& model, std::ostream& out);
 /// filesystem failure.
 Status SaveModel(const DpCopulaModel& model, const std::string& path);
 
-/// Loads and validates a model written by SaveModel.
-Result<DpCopulaModel> LoadModel(const std::string& path);
+struct LoadModelOptions {
+  /// Accept (and ignore) content after the correlation block. Only the
+  /// streaming-state loader sets this: StreamingSynthesizer::SaveState
+  /// appends its counters after the model body inside the same atomic
+  /// write. Plain model files must end at the correlation block — trailing
+  /// bytes mean corruption (or a truncated concatenation) and fail closed.
+  bool allow_trailing = false;
+};
+
+/// Loads and validates a model written by SaveModel. Fails closed with a
+/// data-independent IOError on any malformed, non-finite, or trailing
+/// content, so a corrupted model file is rejected at load time instead of
+/// producing NaN samples downstream.
+Result<DpCopulaModel> LoadModel(const std::string& path,
+                                const LoadModelOptions& options = {});
 
 }  // namespace dpcopula::core
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -126,8 +127,17 @@ Result<DpCopulaModel> StreamingSynthesizer::CurrentModel() const {
   DPC_ASSIGN_OR_RETURN(model.correlation,
                        linalg::EnsureCorrelationMatrix(merged_correlation_));
   model.family = CopulaFamily::kGaussian;
+  // The accumulated weight is unbounded (it grows with every batch under
+  // decay 1.0, and a restored state may carry an arbitrarily large value);
+  // llround on a double past the long long range is undefined behavior, so
+  // clamp before rounding.
+  const double weight = std::max(1.0, weight_);
+  constexpr double kMaxRows =
+      static_cast<double>(std::numeric_limits<long long>::max());
   model.fitted_rows =
-      static_cast<std::size_t>(std::llround(std::max(1.0, weight_)));
+      weight >= kMaxRows
+          ? static_cast<std::size_t>(std::numeric_limits<long long>::max())
+          : static_cast<std::size_t>(std::llround(weight));
   return model;
 }
 
@@ -160,7 +170,11 @@ Status StreamingSynthesizer::SaveState(const std::string& path) const {
 
 Result<StreamingSynthesizer> StreamingSynthesizer::RestoreState(
     const std::string& path, Options options) {
-  DPC_ASSIGN_OR_RETURN(DpCopulaModel model, LoadModel(path));
+  // The streaming counters legitimately follow the correlation block, so
+  // this is the one loader that opts out of the trailing-bytes rejection.
+  LoadModelOptions load_options;
+  load_options.allow_trailing = true;
+  DPC_ASSIGN_OR_RETURN(DpCopulaModel model, LoadModel(path, load_options));
   StreamingSynthesizer s(model.schema, std::move(options));
   DPC_RETURN_NOT_OK(s.Validate());
   // Parse the appended counters.
@@ -176,7 +190,10 @@ Result<StreamingSynthesizer> StreamingSynthesizer::RestoreState(
       if (!(in >> batches)) break;
     }
   }
-  if (weight < 0.0 || batches == 0) {
+  // NaN fails every `< 0.0` comparison, so the old guard accepted a NaN
+  // (or Inf) weight and poisoned every later merge; require a finite,
+  // non-negative value explicitly.
+  if (!std::isfinite(weight) || weight < 0.0 || batches == 0) {
     return Status::IOError("missing streaming counters in " + path);
   }
   s.weight_ = weight;

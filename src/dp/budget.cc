@@ -13,38 +13,83 @@ constexpr double kSlack = 1e-9;
 BudgetAccountant::BudgetAccountant(double epsilon, std::string label)
     : total_(epsilon), label_(std::move(label)) {}
 
-Status BudgetAccountant::Charge(double epsilon, const std::string& what,
-                                double sensitivity) {
+BudgetAccountant::BudgetAccountant(const BudgetAccountant& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  total_ = other.total_;
+  spent_ = other.spent_;
+  label_ = other.label_;
+  entries_ = other.entries_;
+}
+
+BudgetAccountant& BudgetAccountant::operator=(const BudgetAccountant& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  total_ = other.total_;
+  spent_ = other.spent_;
+  label_ = other.label_;
+  entries_ = other.entries_;
+  return *this;
+}
+
+BudgetAccountant::BudgetAccountant(BudgetAccountant&& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  total_ = other.total_;
+  spent_ = other.spent_;
+  label_ = std::move(other.label_);
+  entries_ = std::move(other.entries_);
+}
+
+BudgetAccountant& BudgetAccountant::operator=(BudgetAccountant&& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  total_ = other.total_;
+  spent_ = other.spent_;
+  label_ = std::move(other.label_);
+  entries_ = std::move(other.entries_);
+  return *this;
+}
+
+double BudgetAccountant::spent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_;
+}
+
+double BudgetAccountant::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - spent_;
+}
+
+Status BudgetAccountant::ChargeLocked(double epsilon, bool parallel,
+                                      const std::string& what,
+                                      double sensitivity) {
   if (epsilon < 0.0 || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("budget charge must be finite and >= 0");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (spent_ + epsilon > total_ + kSlack) {
     return Status::PrivacyBudgetExceeded(
-        label_ + ": charge " + std::to_string(epsilon) + " for '" + what +
-        "' exceeds remaining " + std::to_string(remaining()));
+        label_ + (parallel ? ": parallel charge " : ": charge ") +
+        std::to_string(epsilon) + " for '" + what + "' exceeds remaining " +
+        std::to_string(total_ - spent_));
   }
   spent_ += epsilon;
-  entries_.push_back({epsilon, /*parallel=*/false, what, sensitivity});
+  entries_.push_back({epsilon, parallel, what, sensitivity});
   return Status::OK();
+}
+
+Status BudgetAccountant::Charge(double epsilon, const std::string& what,
+                                double sensitivity) {
+  return ChargeLocked(epsilon, /*parallel=*/false, what, sensitivity);
 }
 
 Status BudgetAccountant::ChargeParallel(double epsilon,
                                         const std::string& what,
                                         double sensitivity) {
-  if (epsilon < 0.0 || !std::isfinite(epsilon)) {
-    return Status::InvalidArgument("budget charge must be finite and >= 0");
-  }
-  if (spent_ + epsilon > total_ + kSlack) {
-    return Status::PrivacyBudgetExceeded(
-        label_ + ": parallel charge " + std::to_string(epsilon) + " for '" +
-        what + "' exceeds remaining " + std::to_string(remaining()));
-  }
-  spent_ += epsilon;
-  entries_.push_back({epsilon, /*parallel=*/true, what, sensitivity});
-  return Status::OK();
+  return ChargeLocked(epsilon, /*parallel=*/true, what, sensitivity);
 }
 
 void BudgetAccountant::AnnotateLastChargeSensitivity(double sensitivity) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (entries_.empty()) return;
   entries_.back().sensitivity = sensitivity;
 }

@@ -1,6 +1,7 @@
 #ifndef DPCOPULA_DP_BUDGET_H_
 #define DPCOPULA_DP_BUDGET_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,14 +19,29 @@ namespace dpcopula::dp {
 /// accountant per disjoint partition via `SplitParallel`: the children share
 /// the parent's allowance, and the parent records only the maximum spent by
 /// any child.
+///
+/// Thread safety: Charge/ChargeParallel are atomic check-and-spend
+/// operations guarded by an internal mutex, so concurrent chargers can never
+/// both pass the admission check and jointly overspend `total_` — the
+/// serving path charges one shared per-tenant accountant from many request
+/// threads. spent()/remaining()/AnnotateLastChargeSensitivity take the same
+/// lock. entries()/Entries() return a reference to the charge log and are
+/// safe only once concurrent charging has quiesced (reports and audits run
+/// after workers join).
 class BudgetAccountant {
  public:
   /// An accountant allowed to spend up to `epsilon` in total.
   explicit BudgetAccountant(double epsilon, std::string label = "root");
 
+  /// Copy/move duplicate the accounting state; the copy gets its own lock.
+  BudgetAccountant(const BudgetAccountant& other);
+  BudgetAccountant& operator=(const BudgetAccountant& other);
+  BudgetAccountant(BudgetAccountant&& other);
+  BudgetAccountant& operator=(BudgetAccountant&& other);
+
   double total_epsilon() const { return total_; }
-  double spent() const { return spent_; }
-  double remaining() const { return total_ - spent_; }
+  double spent() const;
+  double remaining() const;
   const std::string& label() const { return label_; }
 
   /// Charges `epsilon` under sequential composition. `sensitivity` is the
@@ -60,6 +76,10 @@ class BudgetAccountant {
   const std::vector<Entry>& Entries() const { return entries_; }
 
  private:
+  Status ChargeLocked(double epsilon, bool parallel, const std::string& what,
+                      double sensitivity);
+
+  mutable std::mutex mu_;
   double total_;
   double spent_ = 0.0;
   std::string label_;

@@ -1,0 +1,117 @@
+#include "serve/ledger.h"
+
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace dpcopula::serve {
+
+namespace {
+// Mirrors the accountant's accumulation slack: a restored spend equal to
+// the total (an exhausted tenant) must restore cleanly.
+constexpr double kSlack = 1e-9;
+
+Status LedgerError(const std::string& what) {
+  // Structural only — tenant names are operator-chosen identifiers, but
+  // totals/spends never appear in errors.
+  return Status::IOError("ledger parse error: " + what);
+}
+}  // namespace
+
+Result<TenantLedger> TenantLedger::Open(Options options) {
+  TenantLedger ledger(std::move(options));
+  if (ledger.options_.persist_path.empty()) return ledger;
+  std::ifstream in(ledger.options_.persist_path);
+  if (!in) return ledger;  // First start: nothing persisted yet.
+  std::string line;
+  if (!std::getline(in, line) || line != "DPCOPULA-LEDGER v1") {
+    return LedgerError("bad header");
+  }
+  std::string token;
+  while (in >> token) {
+    if (token != "tenant") return LedgerError("bad record");
+    std::string name;
+    double total = 0.0, spent = 0.0;
+    if (!(in >> name >> total >> spent)) return LedgerError("bad record");
+    if (!std::isfinite(total) || !std::isfinite(spent) || total < 0.0 ||
+        spent < 0.0 || spent > total + kSlack) {
+      return LedgerError("invalid budget record");
+    }
+    if (ledger.tenants_.count(name) != 0) {
+      return LedgerError("duplicate tenant");
+    }
+    auto accountant = std::make_unique<dp::BudgetAccountant>(total, name);
+    if (spent > 0.0) {
+      DPC_RETURN_NOT_OK(accountant->Charge(spent, "ledger:restore"));
+    }
+    ledger.tenants_.emplace(name, std::move(accountant));
+  }
+  return ledger;
+}
+
+dp::BudgetAccountant* TenantLedger::GetOrCreateLocked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(tenant, std::make_unique<dp::BudgetAccountant>(
+                                  options_.default_allowance, tenant))
+             .first;
+  }
+  return it->second.get();
+}
+
+Status TenantLedger::PersistLocked() const {
+  if (options_.persist_path.empty()) return Status::OK();
+  return WriteFileAtomic(
+      options_.persist_path, [this](std::ostream& out) -> Status {
+        out.precision(17);
+        out << "DPCOPULA-LEDGER v1\n";
+        for (const auto& [name, accountant] : tenants_) {
+          out << "tenant " << name << ' ' << accountant->total_epsilon()
+              << ' ' << accountant->spent() << '\n';
+        }
+        if (!out) return Status::IOError("ledger stream failed");
+        return Status::OK();
+      });
+}
+
+Status TenantLedger::Charge(const std::string& tenant, double epsilon,
+                            const std::string& what) {
+  static obs::Counter* const rejected =
+      obs::MetricsRegistry::Global().GetCounter("serve.budget_rejections");
+  std::lock_guard<std::mutex> lock(*mu_);
+  dp::BudgetAccountant* accountant = GetOrCreateLocked(tenant);
+  Status admitted = accountant->Charge(epsilon, what);
+  if (!admitted.ok()) {
+    rejected->Increment();
+    return admitted;
+  }
+  if (epsilon == 0.0) return Status::OK();  // Nothing changed on disk.
+  Status persisted = PersistLocked();
+  if (!persisted.ok()) {
+    // The in-memory charge stands (never refunded); losing the response is
+    // the safe failure direction. Surface the IO error to the caller.
+    obs::Log(obs::LogLevel::kError, "serve.ledger_persist_failed")
+        .Field("tenant", tenant);
+    return persisted;
+  }
+  return Status::OK();
+}
+
+TenantLedger::TenantBudget TenantLedger::Get(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  dp::BudgetAccountant* accountant = GetOrCreateLocked(tenant);
+  return {accountant->total_epsilon(), accountant->spent()};
+}
+
+std::size_t TenantLedger::num_tenants() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return tenants_.size();
+}
+
+}  // namespace dpcopula::serve

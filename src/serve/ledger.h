@@ -1,0 +1,75 @@
+#ifndef DPCOPULA_SERVE_LEDGER_H_
+#define DPCOPULA_SERVE_LEDGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dp/budget.h"
+
+namespace dpcopula::serve {
+
+/// Per-tenant privacy-budget ledgers with admission control for the
+/// serving path. Each tenant owns one BudgetAccountant; a request's
+/// epsilon charge is admitted atomically against the tenant's remaining
+/// allowance (Charge is an atomic check-and-spend), so concurrent requests
+/// from the same tenant can never jointly overspend.
+///
+/// When `persist_path` is set, the full ledger is rewritten through
+/// common/atomic_file after every spending charge, and reloaded by Open on
+/// the next start — a restart never forgets spend. The persistence order
+/// is charge-then-persist: a crash between the two forgets at most the
+/// in-flight charge *in the file*, while the response for it was never
+/// sent, and a client retry re-charges. Spend is only ever overcounted,
+/// never refunded — errors stay on the privacy-safe side.
+class TenantLedger {
+ public:
+  struct Options {
+    /// Epsilon allowance granted to a tenant on first contact.
+    double default_allowance = 1.0;
+    /// Ledger file path; empty = in-memory only (tests, benches).
+    std::string persist_path;
+  };
+
+  /// Opens a ledger; restores persisted spend when the file exists. A
+  /// corrupt ledger file fails closed (IOError) — better to refuse to
+  /// serve than to forget spend.
+  static Result<TenantLedger> Open(Options options);
+
+  TenantLedger(TenantLedger&&) = default;
+  TenantLedger& operator=(TenantLedger&&) = default;
+
+  /// Atomically admits and records a charge of `epsilon` for `tenant`
+  /// (created with the default allowance on first contact). Rejected
+  /// charges (PrivacyBudgetExceeded) spend nothing and are not persisted.
+  Status Charge(const std::string& tenant, double epsilon,
+                const std::string& what);
+
+  struct TenantBudget {
+    double total = 0.0;
+    double spent = 0.0;
+    double remaining() const { return total - spent; }
+  };
+  /// Snapshot of `tenant`'s budget (created on first contact).
+  TenantBudget Get(const std::string& tenant);
+
+  std::size_t num_tenants() const;
+
+ private:
+  explicit TenantLedger(Options options) : options_(std::move(options)) {}
+
+  dp::BudgetAccountant* GetOrCreateLocked(const std::string& tenant);
+  Status PersistLocked() const;
+
+  Options options_;
+  // unique_ptr so accountants have stable addresses across map growth.
+  std::map<std::string, std::unique_ptr<dp::BudgetAccountant>> tenants_;
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+};
+
+}  // namespace dpcopula::serve
+
+#endif  // DPCOPULA_SERVE_LEDGER_H_

@@ -1,0 +1,64 @@
+#ifndef DPCOPULA_SERVE_PROTOCOL_H_
+#define DPCOPULA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace dpcopula::serve {
+
+/// Line-delimited request grammar (one request per line, LF-terminated,
+/// fields separated by single spaces; see DESIGN.md §13):
+///
+///   SAMPLE <model> <tenant> <epsilon> <rows> <seed> [csv|binary]
+///   BUDGET <tenant>
+///   RELOAD <model>
+///   STATS
+///   PING
+///   QUIT
+///
+/// <model> and <tenant> are whitespace-free identifiers; <epsilon> is the
+/// budget charge debited from the tenant's ledger before sampling (0 =
+/// free replay of an already-released model); <rows> is the synthetic row
+/// count (0 = the model's fitted_rows); <seed> makes the reply
+/// deterministic — the same (model, seed, rows) always returns
+/// bit-identical bytes. The format defaults to csv.
+struct Request {
+  enum class Kind { kSample, kBudget, kReload, kStats, kPing, kQuit };
+  Kind kind = Kind::kPing;
+  std::string model;
+  std::string tenant;
+  double epsilon = 0.0;
+  std::uint64_t rows = 0;
+  std::uint64_t seed = 0;
+  bool binary = false;
+};
+
+/// Parses one request line (without the trailing LF). InvalidArgument on
+/// malformed input; the message never echoes client bytes back.
+Result<Request> ParseRequestLine(const std::string& line);
+
+/// Response status line: "OK <verb> ..." on success, "ERR <code> <message>"
+/// on failure. Codes follow HTTP semantics: 400 bad request, 404 unknown
+/// model, 413 too many rows, 429 budget exhausted, 500 internal, 503 busy.
+int StatusToWireCode(const Status& status);
+
+/// "ERR <code> <message>\n".
+std::string RenderError(int code, const std::string& message);
+std::string RenderError(const Status& status);
+
+/// Sample payload. CSV: "OK SAMPLE <rows> <cols> csv\n", a header line of
+/// attribute names, one comma-joined line per row, then "END\n". Binary:
+/// "OK SAMPLE <rows> <cols> binary\n", then per row a 4-byte little-endian
+/// payload length followed by the payload bytes (the same comma-joined
+/// text, no newline), then "END\n". Both renderings are deterministic
+/// functions of the table, which is what makes seed-replay bit-identical
+/// end to end.
+std::string RenderSampleResponse(const data::Table& table, bool binary);
+
+}  // namespace dpcopula::serve
+
+#endif  // DPCOPULA_SERVE_PROTOCOL_H_

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "data/table.h"
@@ -49,6 +52,87 @@ TEST(BudgetTest, ParallelChargeRecorded) {
   EXPECT_TRUE(acct.ChargeParallel(0.4, "partitions").ok());
   EXPECT_TRUE(acct.entries()[0].parallel);
   EXPECT_NEAR(acct.spent(), 0.4, 1e-12);
+}
+
+TEST(BudgetTest, ConcurrentChargesNeverOverspend) {
+  // The serving-path hammer: N threads race M charges each against one
+  // shared accountant. Every quantity is a power of two, so the arithmetic
+  // is exact and the admitted count is deterministic: exactly
+  // total / charge = 1024 charges fit, every other attempt must be
+  // rejected, and spent() lands on exactly total. Before Charge was an
+  // atomic check-and-spend, two racing threads could both pass the
+  // admission check and jointly push spent_ past total_ — a privacy
+  // violation, not just a data race. Run under TSan in CI.
+  constexpr double kTotal = 1.0;
+  constexpr double kCharge = 1.0 / 1024.0;
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 512;  // 4096 attempts, 1024 admitted.
+  BudgetAccountant acct(kTotal, "hammer");
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acct, &admitted, &rejected] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        Status s = acct.Charge(kCharge, "hammer-tick");
+        if (s.ok()) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_EQ(s.code(), StatusCode::kPrivacyBudgetExceeded);
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(admitted.load(), 1024);
+  EXPECT_EQ(rejected.load(), kThreads * kChargesPerThread - 1024);
+  EXPECT_DOUBLE_EQ(acct.spent(), kTotal);
+  EXPECT_LE(acct.spent(), kTotal + 1e-9);
+  EXPECT_EQ(acct.entries().size(), 1024u);
+}
+
+TEST(BudgetTest, ConcurrentMixedChargeKindsAndReads) {
+  // Sequential and parallel charges race with remaining() readers; the
+  // invariant spent() <= total + slack must hold at every interleaving.
+  constexpr double kTotal = 2.0;
+  constexpr double kCharge = 1.0 / 256.0;
+  BudgetAccountant acct(kTotal, "hammer-mixed");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&acct, t] {
+      for (int i = 0; i < 256; ++i) {
+        if (t % 2 == 0) {
+          (void)acct.Charge(kCharge, "seq");
+        } else {
+          (void)acct.ChargeParallel(kCharge, "par");
+        }
+        const double rem = acct.remaining();
+        EXPECT_GE(rem, -1e-9);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(acct.spent(), kTotal + 1e-9);
+  EXPECT_DOUBLE_EQ(acct.spent(), kTotal);  // 1024 * 1/256 = 4 > 2: exhausted.
+}
+
+TEST(BudgetTest, CopyAndMovePreserveState) {
+  BudgetAccountant acct(1.0, "orig");
+  ASSERT_TRUE(acct.Charge(0.25, "a", 2.0).ok());
+  BudgetAccountant copy = acct;
+  EXPECT_DOUBLE_EQ(copy.spent(), 0.25);
+  EXPECT_EQ(copy.label(), "orig");
+  ASSERT_EQ(copy.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(copy.entries()[0].sensitivity, 2.0);
+  // The copy accounts independently of the original.
+  ASSERT_TRUE(copy.Charge(0.5, "b").ok());
+  EXPECT_DOUBLE_EQ(copy.spent(), 0.75);
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.25);
+  BudgetAccountant moved = std::move(copy);
+  EXPECT_DOUBLE_EQ(moved.spent(), 0.75);
+  EXPECT_EQ(moved.entries().size(), 2u);
 }
 
 TEST(LaplaceMechanismTest, ValidatesParameters) {

@@ -28,6 +28,13 @@
 #include "linalg/psd_repair.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 namespace dpcopula {
 namespace {
@@ -601,6 +608,167 @@ TEST_F(FaultInjectionTest, StreamingRejectsBatchWhoseFitFails) {
 }
 
 // ---------------------------------------------------------------------------
+// serve.*: the serving daemon's failure sites. Accept-path faults drop the
+// connection before any request is read; reload faults keep the previous
+// model version serving; sample faults answer ERR 500 and leave the
+// connection (and the next request) healthy.
+
+serve::ServerOptions LoopbackOptions() {
+  serve::ServerOptions options;
+  options.num_workers = 1;
+  return options;
+}
+
+std::string SaveServeModel(const char* name) {
+  Rng rng(4242);
+  data::Table table = MakeSynthetic(400, 2, 0.4, &rng);
+  core::DpCopulaOptions opts;
+  opts.epsilon = 5.0;
+  auto res = core::Synthesize(table, opts, &rng);
+  core::DpCopulaModel model =
+      core::ModelFromSynthesis(table.schema(), *res);
+  const std::string path =
+      std::string("/tmp/dpcopula_fault_serve_") + name + ".model";
+  EXPECT_TRUE(core::SaveModel(model, path).ok());
+  return path;
+}
+
+// Minimal blocking loopback client (line protocol; csv multi-line reads).
+class ServeClient {
+ public:
+  explicit ServeClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ServeClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+  std::string Roundtrip(const std::string& request) {
+    const std::string out = request + "\n";
+    if (::send(fd_, out.data(), out.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(out.size())) {
+      return "";
+    }
+    std::string line;
+    if (!ReadLine(&line)) return "";
+    std::string response = line + "\n";
+    if (line.rfind("OK SAMPLE", 0) == 0 &&
+        line.find(" csv") != std::string::npos) {
+      while (ReadLine(&line)) {
+        response += line + "\n";
+        if (line == "END") break;
+      }
+    }
+    return response;
+  }
+
+ private:
+  bool ReadLine(std::string* line) {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST_F(FaultInjectionTest, ServeAcceptFaultDropsConnectionThenRecovers) {
+  const std::string path = SaveServeModel("accept");
+  auto created = serve::Server::Create(LoopbackOptions());
+  ASSERT_TRUE(created.ok());
+  auto server = created.MoveValueUnsafe();
+  ASSERT_TRUE(server->AddModel("m", path).ok());
+  ASSERT_TRUE(Registry::Global().Arm("serve.accept", "once").ok());
+  // The faulted accept closes the connection before reading anything: the
+  // client observes EOF, never a hang or a partial response.
+  ServeClient dropped(server->port());
+  ASSERT_TRUE(dropped.connected());
+  EXPECT_EQ(dropped.Roundtrip("PING"), "");
+  // "once" has fired; the next connection is served normally.
+  ServeClient healthy(server->port());
+  ASSERT_TRUE(healthy.connected());
+  EXPECT_EQ(healthy.Roundtrip("PING"), "OK PONG\n");
+  EXPECT_GE(server->GetStats().errors, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, ServeReloadFaultKeepsOldModelServing) {
+  const std::string path = SaveServeModel("reload");
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("m", path).ok());
+  auto before = registry.Get("m");
+  ASSERT_TRUE(before.ok());
+  const std::size_t old_rows = (*before)->model.fitted_rows;
+
+  // Publish a changed file, then fail every reload attempt.
+  auto changed = core::LoadModel(path);
+  ASSERT_TRUE(changed.ok());
+  changed->fitted_rows = old_rows + 111;
+  ASSERT_TRUE(core::SaveModel(*changed, path).ok());
+  ASSERT_TRUE(Registry::Global().Arm("serve.model_reload", "always").ok());
+
+  // The explicit reload surfaces the injected fault...
+  auto forced = registry.CheckReload("m");
+  ASSERT_FALSE(forced.ok());
+  EXPECT_NE(forced.status().message().find("serve.model_reload"),
+            std::string::npos);
+  // ...while the serving path degrades to the previous version instead of
+  // failing: availability beats freshness.
+  auto during = registry.Get("m");
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ((*during)->model.fitted_rows, old_rows);
+
+  Registry::Global().DisarmAll();
+  auto reloaded = registry.CheckReload("m");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(*reloaded);
+  auto after = registry.Get("m");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->model.fitted_rows, old_rows + 111);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, ServeSampleFaultAnswers500AndConnectionSurvives) {
+  const std::string path = SaveServeModel("sample");
+  auto created = serve::Server::Create(LoopbackOptions());
+  ASSERT_TRUE(created.ok());
+  auto server = created.MoveValueUnsafe();
+  ASSERT_TRUE(server->AddModel("m", path).ok());
+  ASSERT_TRUE(Registry::Global().Arm("serve.sample", "once").ok());
+  ServeClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  const std::string faulted = client.Roundtrip("SAMPLE m t 0 16 1");
+  EXPECT_EQ(faulted.rfind("ERR 500", 0), 0u) << faulted;
+  EXPECT_NE(faulted.find("serve.sample"), std::string::npos) << faulted;
+  // Same connection, next request: served normally, fully formed.
+  const std::string healthy = client.Roundtrip("SAMPLE m t 0 16 1");
+  EXPECT_EQ(healthy.rfind("OK SAMPLE 16 2 csv", 0), 0u) << healthy;
+  EXPECT_NE(healthy.find("END\n"), std::string::npos);
+  EXPECT_EQ(server->GetStats().errors, 1u);
+  EXPECT_EQ(server->GetStats().samples_ok, 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Whole-pipeline determinism under a multi-site fault schedule.
 
 TEST_F(FaultInjectionTest, FaultScheduleIsThreadCountInvariant) {
@@ -641,7 +809,9 @@ TEST_F(FaultInjectionTest, SuiteSweepsEveryKnownSite) {
       "linalg.eigen.converge",
       "linalg.psd_repair",    "mle.partition_fit",
       "model.load.open",      "parallel.dispatch",
-      "sampler.row",          "streaming.ingest.merge",
+      "sampler.row",          "serve.accept",
+      "serve.model_reload",   "serve.sample",
+      "streaming.ingest.merge",
   };
   std::vector<std::string> known = failpoint::KnownSites();
   std::sort(exercised.begin(), exercised.end());

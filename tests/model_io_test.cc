@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/dpcopula.h"
@@ -105,6 +109,116 @@ TEST(ModelIoTest, LoadRejectsCorruptFiles) {
   }
   EXPECT_FALSE(LoadModel(path).ok());
   EXPECT_FALSE(LoadModel("/nonexistent/model.txt").ok());
+  std::remove(path.c_str());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+
+// Replaces the rest of the line starting at `prefix` with `value`.
+std::string WithLineValue(std::string text, const std::string& prefix,
+                          const std::string& value) {
+  const std::size_t at = text.find(prefix);
+  EXPECT_NE(at, std::string::npos) << prefix;
+  const std::size_t eol = text.find('\n', at);
+  text.replace(at + prefix.size(), eol - at - prefix.size(), value);
+  return text;
+}
+
+// Replaces the first whitespace-delimited token on the line *after* the
+// line containing `anchor` (margin/correlation blocks put values there).
+std::string WithValueAfter(std::string text, const std::string& anchor,
+                           const std::string& value) {
+  const std::size_t at = text.find(anchor);
+  EXPECT_NE(at, std::string::npos) << anchor;
+  const std::size_t start = text.find('\n', at) + 1;
+  const std::size_t end = text.find_first_of(" \n", start);
+  text.replace(start, end - start, value);
+  return text;
+}
+
+// A pristine model file round-trips bit-identically, and every mutant in a
+// corpus of targeted corruptions — non-finite numbers, truncations,
+// appended garbage, header damage — is rejected at load time instead of
+// surfacing as NaN samples later.
+TEST(ModelIoTest, CorruptionCorpusAllRejected) {
+  Rng rng(613);
+  DpCopulaModel model = FittedModel(&rng);
+  const std::string path = "/tmp/dpcopula_model_corpus.txt";
+  const std::string reserialized = "/tmp/dpcopula_model_corpus2.txt";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  const std::string pristine = ReadFileBytes(path);
+
+  // Bit-identical round trip: load + save again reproduces the same bytes
+  // (a valid correlation passes through EnsureCorrelationMatrix unchanged).
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(SaveModel(*loaded, reserialized).ok());
+  EXPECT_EQ(pristine, ReadFileBytes(reserialized));
+
+  struct Mutant {
+    const char* label;
+    std::string bytes;
+  };
+  const std::vector<Mutant> corpus = {
+      {"bad header", WithLineValue(pristine, "DPCOPULA-MODEL ", "v9")},
+      {"nan t_dof", WithLineValue(pristine, "t_dof ", "nan")},
+      {"inf t_dof", WithLineValue(pristine, "t_dof ", "inf")},
+      {"text t_dof", WithLineValue(pristine, "t_dof ", "x")},
+      {"nan margin value", WithValueAfter(pristine, "margin 0 ", "nan")},
+      {"inf margin value", WithValueAfter(pristine, "margin 1 ", "inf")},
+      {"text margin value", WithValueAfter(pristine, "margin 0 ", "z")},
+      {"nan correlation", WithValueAfter(pristine, "correlation 2", "nan")},
+      {"text correlation", WithValueAfter(pristine, "correlation 2", "q")},
+      {"margin size mismatch", WithLineValue(pristine, "margin 0 ", "7")},
+      {"bad family", WithLineValue(pristine, "family ", "cauchy")},
+      {"trailing garbage", pristine + "leftover 1 2 3\n"},
+      {"doubled write", pristine + pristine},
+      {"truncated", pristine.substr(0, pristine.size() / 2)},
+      {"truncated tail", pristine.substr(0, pristine.size() - 4)},
+      {"empty", ""},
+  };
+  for (const Mutant& mutant : corpus) {
+    WriteFileBytes(path, mutant.bytes);
+    auto result = LoadModel(path);
+    ASSERT_FALSE(result.ok()) << mutant.label;
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError) << mutant.label;
+  }
+
+  // Data independence: the same structural defect with different injected
+  // bytes must produce the same error text — positions may leak, values
+  // must not.
+  WriteFileBytes(path, WithValueAfter(pristine, "margin 0 ", "nan"));
+  const Status nan_status = LoadModel(path).status();
+  WriteFileBytes(path, WithValueAfter(pristine, "margin 0 ", "inf"));
+  const Status inf_status = LoadModel(path).status();
+  EXPECT_EQ(nan_status.message(), inf_status.message());
+
+  std::remove(path.c_str());
+  std::remove(reserialized.c_str());
+}
+
+TEST(ModelIoTest, TrailingBytesAllowedOnlyWhenOptedIn) {
+  Rng rng(617);
+  DpCopulaModel model = FittedModel(&rng);
+  const std::string path = "/tmp/dpcopula_model_trailing.txt";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  WriteFileBytes(path,
+                 ReadFileBytes(path) + "streaming_weight 100\n"
+                                       "streaming_batches 2\n");
+  EXPECT_FALSE(LoadModel(path).ok());
+  LoadModelOptions allow;
+  allow.allow_trailing = true;
+  EXPECT_TRUE(LoadModel(path, allow).ok());
   std::remove(path.c_str());
 }
 

@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
 
 #include "common/rng.h"
 #include "core/streaming.h"
@@ -146,6 +150,65 @@ TEST(StreamingTest, SaveRequiresIngestedData) {
   EXPECT_FALSE(StreamingSynthesizer::RestoreState("/nonexistent/x.txt",
                                                   HighBudgetOptions())
                    .ok());
+}
+
+// Rewrites the value on the `streaming_weight` line of a saved state file.
+void PatchStreamingWeight(const std::string& path, const std::string& value) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  const std::string prefix = "streaming_weight ";
+  const std::size_t at = text.find(prefix);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t eol = text.find('\n', at);
+  text.replace(at + prefix.size(), eol - at - prefix.size(), value);
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+TEST(StreamingTest, RestoreRejectsNonFiniteWeight) {
+  Rng rng(721);
+  data::Table seed = MakeBatch(500, 0.3, &rng);
+  StreamingSynthesizer s(seed.schema(), HighBudgetOptions());
+  ASSERT_TRUE(s.Ingest(seed, &rng).ok());
+  const std::string path = "/tmp/dpcopula_stream_nonfinite.txt";
+  ASSERT_TRUE(s.SaveState(path).ok());
+  // A NaN weight passes a `weight < 0.0` guard (every comparison with NaN
+  // is false) and then poisons every later merge — it must fail at restore.
+  for (const char* bad : {"nan", "inf", "-inf", "-1", "bogus"}) {
+    PatchStreamingWeight(path, bad);
+    auto restored =
+        StreamingSynthesizer::RestoreState(path, HighBudgetOptions());
+    EXPECT_FALSE(restored.ok()) << "weight=" << bad;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingTest, HugeRestoredWeightClampsInsteadOfOverflowing) {
+  Rng rng(723);
+  data::Table seed = MakeBatch(500, 0.3, &rng);
+  StreamingSynthesizer s(seed.schema(), HighBudgetOptions());
+  ASSERT_TRUE(s.Ingest(seed, &rng).ok());
+  const std::string path = "/tmp/dpcopula_stream_huge.txt";
+  ASSERT_TRUE(s.SaveState(path).ok());
+  // 1e300 is a legal (finite) weight but llround(1e300) is UB; fitted_rows
+  // must clamp to the long long range instead.
+  PatchStreamingWeight(path, "1e300");
+  auto restored =
+      StreamingSynthesizer::RestoreState(path, HighBudgetOptions());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->accumulated_weight(), 1e300);
+  auto model = restored->CurrentModel();
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->fitted_rows,
+            static_cast<std::size_t>(
+                std::numeric_limits<long long>::max()));
+  // Explicit row counts still sample fine from the clamped model.
+  auto sample = restored->Synthesize(50, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_rows(), 50u);
+  std::remove(path.c_str());
 }
 
 TEST(StreamingTest, ManySmallBatchesStayStable) {
